@@ -1,0 +1,121 @@
+"""Theorem 1: training-time complexity of Algorithm 1.
+
+The theorem bounds one iteration by
+
+    O( delta*T*rho*(z + z')  +  d*T*rho*(z*log(mu) + z'*H*rho) )
+
+Three measurements, each isolating one variable of the bound:
+
+1. **T** (paths per view-pair): wall-clock of one full cross-view epoch
+   while sweeping ``paths_per_epoch`` — expected linear (slope <= ~1).
+2. **H** (encoders per translator): wall-clock of a translator
+   forward+backward on a fixed path — expected linear.
+3. **rho** (translator path length): wall-clock of a translator
+   forward+backward on one path of length rho — the attention matmuls are
+   rho^2*d, so the per-path cost must grow super-linearly once rho
+   dominates the fixed per-layer overhead.
+
+Log-log regression slopes are printed and asserted with generous bands
+(wall-clock on small inputs is noisy).
+"""
+
+import time
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core.cross_view import CrossViewTrainer, similarity_loss
+from repro.core.translator import Translator
+from repro.datasets import make_app_daily
+from repro.graph import build_view_pairs, separate_views
+
+from conftest import FAST_MODE, emit, format_table
+
+
+def _slope(xs, ys) -> float:
+    return float(np.polyfit(np.log(xs), np.log(ys), 1)[0])
+
+
+def _time_cross_epoch(graph, paths_per_epoch: int) -> float:
+    """One cross-view epoch over the first view-pair."""
+    rng = np.random.default_rng(0)
+    views = separate_views(graph)
+    pair = build_view_pairs(views)[0]
+    emb_i = rng.normal(0, 0.1, size=(pair.view_i.num_nodes, 16))
+    emb_j = rng.normal(0, 0.1, size=(pair.view_j.num_nodes, 16))
+    trainer = CrossViewTrainer(
+        pair, emb_i, emb_j, rng=rng, dim=16,
+        cross_path_len=6, num_encoders=2, walk_length=12,
+        paths_per_epoch=paths_per_epoch,
+    )
+    start = time.perf_counter()
+    trainer.train_epoch()
+    return time.perf_counter() - start
+
+
+def _time_translator(path_len: int, num_encoders: int, repeats: int = 30) -> float:
+    """Forward + backward of one translator on one path."""
+    rng = np.random.default_rng(0)
+    translator = Translator(path_len, 16, num_encoders, rng=rng)
+    a = Tensor(rng.normal(size=(path_len, 16)), requires_grad=True)
+    target = Tensor(rng.normal(size=(path_len, 16)))
+    start = time.perf_counter()
+    for _ in range(repeats):
+        a.zero_grad()
+        for param in translator.parameters():
+            param.zero_grad()
+        loss = similarity_loss(translator(a), target)
+        loss.backward()
+    return (time.perf_counter() - start) / repeats
+
+
+def _compute(graph):
+    rows = []
+    t_values = [20, 40, 80, 160]
+    t_times = [_time_cross_epoch(graph, t) for t in t_values]
+    for t, elapsed in zip(t_values, t_times):
+        rows.append({"Variable": "T (paths/pair, epoch time)", "Value": t,
+                     "Seconds": f"{elapsed:.3f}"})
+    h_values = [1, 2, 4, 8, 16]
+    h_times = [_time_translator(8, h) for h in h_values]
+    for h, elapsed in zip(h_values, h_times):
+        rows.append({"Variable": "H (encoders, per-path time)", "Value": h,
+                     "Seconds": f"{elapsed:.5f}"})
+    rho_values = [8, 32, 128, 512]
+    rho_times = [_time_translator(r, 2) for r in rho_values]
+    for r, elapsed in zip(rho_values, rho_times):
+        rows.append({"Variable": "rho (path len, per-path time)", "Value": r,
+                     "Seconds": f"{elapsed:.5f}"})
+    slopes = {
+        "T": _slope(t_values, t_times),
+        "H": _slope(h_values, h_times),
+        # fit the rho exponent on the large-rho tail where the quadratic
+        # attention term dominates fixed per-layer overhead
+        "rho": _slope(rho_values[-2:], rho_times[-2:]),
+    }
+    for var, slope in slopes.items():
+        rows.append({"Variable": f"log-log slope({var})", "Value": "-",
+                     "Seconds": f"{slope:.2f}"})
+    return rows, slopes
+
+
+def test_theorem1_complexity_scaling(benchmark, results_dir):
+    graph, _ = make_app_daily(
+        num_applets=120, num_users=50, num_keywords=40
+    )
+    rows, slopes = benchmark.pedantic(
+        _compute, args=(graph,), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "theorem1_complexity",
+        format_table(rows, "Theorem 1 — wall-clock scaling of Algorithm 1"),
+    )
+    if FAST_MODE:
+        return  # scaled-down smoke run: shapes not comparable
+    # epoch cost is linear in T (never super-linear)
+    assert 0.5 < slopes["T"] < 1.4, slopes
+    # per-path translator cost is linear in H
+    assert 0.6 < slopes["H"] < 1.4, slopes
+    # per-path cost grows super-linearly in rho (the rho^2 d attention)
+    assert slopes["rho"] > 1.2, slopes

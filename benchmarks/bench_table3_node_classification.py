@@ -1,0 +1,78 @@
+"""Table III: node classification, Macro-F1 / Micro-F1, 4 datasets x 8 methods.
+
+Protocol (Section IV-B1): learn embeddings on the full network; 90/10
+stratified splits; logistic regression; 10 repeats; averaged F1.
+
+Paper (macro-F1) for reference — shape to reproduce, not absolute values:
+
+             AMiner  BLOG   App-Daily App-Weekly
+    LINE     0.7216  0.2086 0.1261    0.1238
+    Node2Vec 0.7056  0.2312 0.1277    0.1209
+    M2V      0.7869  0.2763 0.1875    0.1757
+    HIN2VEC  0.7998  0.3069 0.1731    0.1472
+    MVE      0.7603  0.2590 0.1567    0.1288
+    R-GCN    0.8325  0.2860 0.1833    0.1637
+    SimplE   0.7927  0.3036 0.1648    0.1292
+    TransN   0.8465  0.3230 0.3713    0.3016
+
+Expected shape here: TransN first or statistically tied-first everywhere,
+with its largest margin on the weighted sparse App-* networks; the
+unit-weight KG methods (R-GCN, SimplE) collapse on App-* because the
+taste-weight signal is invisible to them.
+"""
+
+from repro.eval import method_registry, run_node_classification
+
+from conftest import FAST_MODE, bench_transn_config, emit, format_table
+
+
+def _compute_table(datasets):
+    rows = []
+    scores = {}
+    for ds_name, (graph, labels) in datasets.items():
+        registry = method_registry(
+            ds_name, dim=32, seed=0, transn_config=bench_transn_config()
+        )
+        for method_name, factory in registry.items():
+            embeddings = factory().fit(graph)
+            result = run_node_classification(
+                embeddings, labels, repeats=10, seed=0
+            )
+            scores[(ds_name, method_name)] = result
+            rows.append(
+                {
+                    "Dataset": ds_name,
+                    "Method": method_name,
+                    "Macro-F1": f"{result.macro_f1:.4f}",
+                    "Micro-F1": f"{result.micro_f1:.4f}",
+                    "±macro": f"{result.macro_std:.3f}",
+                }
+            )
+    return rows, scores
+
+
+def test_table3_node_classification(benchmark, datasets, results_dir):
+    rows, scores = benchmark.pedantic(
+        _compute_table, args=(datasets,), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "table3_node_classification",
+        format_table(rows, "Table III — node classification"),
+    )
+    if FAST_MODE:
+        return  # scaled-down smoke run: shapes not comparable
+    # robust shape assertions (loose: scores carry seed noise)
+    for ds in datasets:
+        transn = scores[(ds, "TransN")].macro_f1
+        line = scores[(ds, "LINE")].macro_f1
+        assert transn > line - 0.03, (ds, "TransN should not lose to LINE")
+    # the weighted-sparse App-Daily margin: TransN strictly first
+    app = {m: scores[("app-daily", m)].macro_f1 for m in
+           ("LINE", "Node2Vec", "Metapath2Vec", "HIN2VEC", "MVE",
+            "R-GCN", "SimplE", "TransN")}
+    best_competitor = max(v for k, v in app.items() if k != "TransN")
+    assert app["TransN"] > best_competitor - 0.02
+    # unit-weight KG methods collapse on the taste-weighted network
+    assert app["TransN"] > app["R-GCN"] + 0.1
+    assert app["TransN"] > app["SimplE"] + 0.1

@@ -1,0 +1,74 @@
+"""Table IV: link prediction, ROC-AUC, 4 datasets x 8 methods.
+
+Protocol (Section IV-B2): remove 40% of the edges; sample the same number
+of non-adjacent pairs as negatives; retrain each method on the reduced
+network; score pairs by embedding inner product; report AUC.
+
+Paper AUC for reference — shape to reproduce, not absolute values:
+
+             AMiner  BLOG    App-Daily App-Weekly
+    LINE     0.7221  0.5819  0.7421    0.7520
+    Node2Vec 0.7434  0.5732  0.7339    0.7707
+    M2V      0.8323  0.6059  0.8227    0.8552
+    HIN2VEC  0.8016  0.6123  0.8311    0.7880
+    MVE      0.7967  0.5820  0.7491    0.7822
+    R-GCN    0.8605  0.6389  0.7933    0.7867
+    SimplE   0.8425  0.6121  0.8205    0.8246
+    TransN   0.8835  0.7551  0.8467    0.8668
+
+Expected shape here: TransN in the leading group on every network.  Our
+synthetic generators put most of the removable edge mass into structural
+noise (that is what keeps classification unsaturated), which compresses
+all AUCs toward 0.5 and shrinks the between-method margins relative to
+the paper; EXPERIMENTS.md discusses this honestly.
+"""
+
+from repro.eval import method_registry, run_link_prediction
+from repro.eval.link_prediction import make_split
+
+from conftest import FAST_MODE, bench_transn_config, emit, format_table
+
+
+def _compute_table(datasets):
+    rows = []
+    scores = {}
+    for ds_name, (graph, _labels) in datasets.items():
+        split = make_split(graph, removal_fraction=0.4, seed=0)
+        registry = method_registry(
+            ds_name, dim=32, seed=0, transn_config=bench_transn_config()
+        )
+        for method_name, factory in registry.items():
+            result = run_link_prediction(factory, graph, split=split)
+            scores[(ds_name, method_name)] = result.auc
+            rows.append(
+                {
+                    "Dataset": ds_name,
+                    "Method": method_name,
+                    "AUC": f"{result.auc:.4f}",
+                }
+            )
+    return rows, scores
+
+
+def test_table4_link_prediction(benchmark, datasets, results_dir):
+    rows, scores = benchmark.pedantic(
+        _compute_table, args=(datasets,), rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "table4_link_prediction",
+        format_table(rows, "Table IV — link prediction (ROC-AUC)"),
+    )
+    if FAST_MODE:
+        return  # scaled-down smoke run: shapes not comparable
+    # robust shape assertions.  Margins compress toward noise on these
+    # synthetic networks (see module docstring), so the check is
+    # margin-based, not rank-based: TransN must stay within a small gap of
+    # the best competitor on every network and never collapse.
+    methods = ("LINE", "Node2Vec", "Metapath2Vec", "HIN2VEC", "MVE",
+               "R-GCN", "SimplE", "TransN")
+    for ds in datasets:
+        by_method = {m: scores[(ds, m)] for m in methods}
+        best_competitor = max(v for m, v in by_method.items() if m != "TransN")
+        assert by_method["TransN"] > best_competitor - 0.05, (ds, by_method)
+        assert by_method["TransN"] > 0.45, (ds, by_method)

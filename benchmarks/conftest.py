@@ -1,0 +1,122 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper:
+
+=====================  ============================================
+module                 paper artifact
+=====================  ============================================
+bench_table2_*         Table II  (dataset statistics)
+bench_table3_*         Table III (node classification)
+bench_table4_*         Table IV  (link prediction AUC)
+bench_table5_*         Table V   (ablation study)
+bench_fig6_*           Figure 6  (t-SNE case study)
+bench_complexity_*     Theorem 1 (training-time scaling)
+bench_design_*         DESIGN.md §2 substitution ablations
+=====================  ============================================
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each table is computed once inside the ``benchmark`` call (so the
+reported time is the cost of regenerating that artifact), printed to
+stdout, and written to ``benchmarks/results/<name>.txt``.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the datasets and TransN training for
+a quick smoke run (the printed tables then carry a "FAST MODE" banner and
+should not be compared against the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import TransNConfig
+from repro.datasets import (
+    make_aminer,
+    make_app_daily,
+    make_app_weekly,
+    make_blog,
+)
+from repro.datasets.aminer import AMinerConfig
+from repro.datasets.appstore import AppStoreConfig
+from repro.datasets.blog import BlogConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def bench_transn_config(dim: int = 32, seed: int = 0) -> TransNConfig:
+    """The TransN configuration used by every benchmark."""
+    if FAST_MODE:
+        return TransNConfig(
+            dim=dim, seed=seed, num_iterations=2, cross_paths_per_pair=20
+        )
+    return TransNConfig(dim=dim, seed=seed)
+
+
+def load_datasets() -> dict[str, tuple]:
+    """The four evaluation networks at benchmark scale."""
+    if FAST_MODE:
+        return {
+            "aminer": make_aminer(
+                AMinerConfig(num_authors=80, num_papers=90, num_venues=8)
+            ),
+            "blog": make_blog(
+                BlogConfig(num_users=100, num_keywords=40, num_interests=4)
+            ),
+            "app-daily": make_app_daily(
+                num_applets=120, num_users=50, num_keywords=40
+            ),
+            "app-weekly": make_app_weekly(
+                num_applets=140, num_users=90, num_keywords=45
+            ),
+        }
+    return {
+        "aminer": make_aminer(),
+        "blog": make_blog(),
+        "app-daily": make_app_daily(),
+        "app-weekly": make_app_weekly(),
+    }
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return load_datasets()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def format_table(rows: list[dict], title: str) -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    lines = [title]
+    if FAST_MODE:
+        lines.append("!! FAST MODE — scaled-down smoke run, not comparable !!")
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[c]).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text)

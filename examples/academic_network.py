@@ -1,0 +1,58 @@
+"""Classify paper topics on an AMiner-like academic network.
+
+Reproduces one cell of Table III end to end: generate the synthetic
+academic network (authors / papers / venues, four edge types, coauthorship
+driven by *institutions* rather than topics), train TransN and two
+baselines, and evaluate with the paper's protocol (90/10 splits, logistic
+regression, macro/micro F1 averaged over repeats).
+
+Run:
+    python examples/academic_network.py
+"""
+
+import time
+
+from repro.baselines import LINE, Metapath2Vec
+from repro.core import TransNConfig
+from repro.datasets import AMinerConfig, make_aminer
+from repro.eval import TransNMethod, run_node_classification
+from repro.graph import compute_statistics
+
+
+def main() -> None:
+    graph, labels = make_aminer(AMinerConfig(seed=7))
+    stats = compute_statistics(graph, "AMiner (synthetic)", labels)
+    print("Dataset:", stats.as_row(), "\n")
+
+    methods = {
+        "LINE": lambda: LINE(dim=32, seed=0),
+        "Metapath2Vec (P-A-P-V-P)": lambda: Metapath2Vec(
+            ["paper", "author", "paper", "venue", "paper"], dim=32, seed=0
+        ),
+        "TransN": lambda: TransNMethod(TransNConfig(dim=32, seed=0)),
+    }
+
+    print(f"{'Method':28s} {'Macro-F1':>9s} {'Micro-F1':>9s} {'fit':>6s}")
+    for name, factory in methods.items():
+        start = time.perf_counter()
+        embeddings = factory().fit(graph)
+        elapsed = time.perf_counter() - start
+        result = run_node_classification(
+            embeddings, labels, train_fraction=0.9, repeats=10, seed=0
+        )
+        print(
+            f"{name:28s} {result.macro_f1:9.4f} {result.micro_f1:9.4f} "
+            f"{elapsed:5.1f}s"
+        )
+
+    print(
+        "\nWhy the gap: the coauthorship view follows institutions, not "
+        "research topics.  Type-blind methods blend that orthogonal "
+        "structure into paper embeddings; TransN keeps it in its own view "
+        "(papers never appear there) and transfers only what the shared "
+        "nodes support."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Link prediction on a BLOG-like social network (Table IV protocol).
+
+Removes 40% of the edges, trains every method on the remaining
+subnetwork, scores candidate pairs by the inner product of end-node
+embeddings, and reports ROC-AUC.  The BLOG-like network has strongly
+*correlated* views (friends post common keywords) — the paper's
+explanation for why cross-view transfer pays off most here.
+
+Run:
+    python examples/link_prediction_blog.py
+"""
+
+import time
+
+from repro.baselines import LINE, MVE, Node2Vec
+from repro.core import TransNConfig
+from repro.datasets import make_blog
+from repro.eval import TransNMethod, run_link_prediction
+from repro.eval.link_prediction import make_split
+from repro.graph import compute_statistics
+
+
+def main() -> None:
+    graph, _labels = make_blog()
+    stats = compute_statistics(graph, "BLOG (synthetic)")
+    print("Dataset:", stats.as_row(), "\n")
+
+    # one shared split so every method faces the identical instance
+    split = make_split(graph, removal_fraction=0.4, seed=0)
+    print(
+        f"Removed {len(split.positive_pairs)} edges (40%); sampled "
+        f"{len(split.negative_pairs)} non-adjacent negative pairs.\n"
+    )
+
+    methods = {
+        "LINE": lambda: LINE(dim=32, seed=0),
+        "Node2Vec": lambda: Node2Vec(dim=32, seed=0),
+        "MVE": lambda: MVE(dim=32, seed=0),
+        "TransN": lambda: TransNMethod(TransNConfig(dim=32, seed=0)),
+    }
+
+    print(f"{'Method':10s} {'AUC':>7s} {'fit+score':>10s}")
+    for name, factory in methods.items():
+        start = time.perf_counter()
+        result = run_link_prediction(factory, graph, split=split)
+        elapsed = time.perf_counter() - start
+        print(f"{name:10s} {result.auc:7.4f} {elapsed:9.1f}s")
+
+    print(
+        "\nMost friendship edges in this generator are deliberately "
+        "cross-interest noise (that is what keeps Table III unsaturated), "
+        "so absolute AUCs sit well below the paper's; the comparison "
+        "between methods on the shared split is the meaningful signal."
+    )
+
+
+if __name__ == "__main__":
+    main()

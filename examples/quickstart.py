@@ -1,0 +1,100 @@
+"""Quickstart: embed a tiny heterogeneous academic network with TransN.
+
+This is the paper's Figure 2(a) network: five authors, two papers with a
+mutual citation, two universities — three edge types, three node types.
+TransN separates it into one view per edge type, learns view-specific
+embeddings with biased correlated random walks, ties the views together
+with dual-learning translators, and averages each node's view-specific
+embeddings into its final representation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HeteroGraph, TransN, TransNConfig
+
+
+def build_network() -> HeteroGraph:
+    """The Figure 2(a) academic network."""
+    g = HeteroGraph()
+    for author in ("A1", "A2", "A3", "A4", "A5"):
+        g.add_node(author, "author")
+    for paper in ("P1", "P2"):
+        g.add_node(paper, "paper")
+    for university in ("U1", "U2"):
+        g.add_node(university, "university")
+    g.add_edge("P1", "P2", "citation")
+    for author, paper in [
+        ("A1", "P1"), ("A2", "P1"), ("A3", "P2"), ("A4", "P2"), ("A5", "P2")
+    ]:
+        g.add_edge(author, paper, "authorship")
+    for author, university in [
+        ("A1", "U1"), ("A3", "U1"), ("A2", "U2"), ("A4", "U2"), ("A5", "U2")
+    ]:
+        g.add_edge(author, university, "affiliation")
+    return g
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+
+def main() -> None:
+    graph = build_network()
+    print(f"Input network: {graph}\n")
+
+    # a nine-node graph needs many cheap iterations with a high rate
+    config = TransNConfig(
+        dim=16,
+        num_iterations=40,
+        lr_single=0.2,
+        batch_size=32,
+        walk_length=10,
+        walk_floor=4,
+        walk_cap=8,
+        cross_path_len=3,
+        cross_paths_per_pair=20,
+        num_encoders=2,
+        seed=0,
+    )
+    model = TransN(graph, config)
+
+    print("Views (one per edge type):")
+    for view in model.views:
+        print(f"  {view}")
+    print("View-pairs (shared nodes bridge information):")
+    for pair in model.view_pairs:
+        print(f"  {pair}")
+
+    history = model.fit()
+    print(
+        f"\nTrained {config.num_iterations} iterations; "
+        f"single-view loss {history.single_view[0]:.3f} -> "
+        f"{history.single_view[-1]:.3f}"
+    )
+
+    embeddings = model.embeddings()
+    print("\nAuthor-author cosine similarities (final averaged embeddings):")
+    authors = ["A1", "A2", "A3", "A4", "A5"]
+    header = "      " + "  ".join(f"{a:>6s}" for a in authors)
+    print(header)
+    for a in authors:
+        cells = "  ".join(
+            f"{cosine(embeddings[a], embeddings[b]):6.2f}" for b in authors
+        )
+        print(f"  {a}  {cells}")
+
+    # The paper's running example: A1 and A3 never co-author, yet they
+    # share a university and their papers cite each other — information
+    # the cross-view algorithm transfers into the embeddings.
+    a1_a3 = cosine(embeddings["A1"], embeddings["A3"])
+    print(
+        f"\nA1 <-> A3 (same university, mutually-citing papers, never "
+        f"co-authored): cosine = {a1_a3:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

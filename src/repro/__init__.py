@@ -1,0 +1,20 @@
+"""repro — a full reproduction of *TransN: Heterogeneous Network
+Representation Learning by Translating Node Embeddings* (ICDE 2020).
+
+Quickstart:
+    >>> from repro import TransN, TransNConfig
+    >>> from repro.datasets import make_aminer
+    >>> graph, labels = make_aminer()
+    >>> model = TransN(graph, TransNConfig(num_iterations=2))
+    >>> embeddings = model.fit_transform()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import TransN, TransNConfig
+from repro.graph import HeteroGraph
+
+__version__ = "1.0.0"
+
+__all__ = ["TransN", "TransNConfig", "HeteroGraph", "__version__"]

@@ -1,0 +1,36 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+The paper implements its translators (self-attention + feed-forward encoder
+stacks) and the R-GCN baseline with a deep-learning framework.  Offline we
+provide the same capability with a compact tape-based autograd engine:
+
+- :class:`~repro.autograd.tensor.Tensor` wraps a numpy array, records the
+  operations applied to it, and back-propagates gradients with
+  :meth:`~repro.autograd.tensor.Tensor.backward`.
+- :mod:`~repro.autograd.functional` adds composite ops (softmax, log-softmax,
+  cross-entropy) built from the primitives.
+- :func:`~repro.autograd.gradcheck.gradcheck` verifies any scalar-valued
+  graph against central finite differences; the test-suite runs it over
+  every primitive.
+"""
+
+from repro.autograd.functional import (
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+    sigmoid,
+    softmax,
+)
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "softmax",
+    "log_softmax",
+    "sigmoid",
+    "cross_entropy",
+    "mse_loss",
+    "gradcheck",
+]

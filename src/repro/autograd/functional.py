@@ -1,0 +1,57 @@
+"""Composite differentiable functions built from Tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    The max-shift is a constant w.r.t. the graph (detached), which leaves
+    the gradient unchanged because softmax is shift-invariant.
+    """
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = (x - shift).exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably via the log-sum-exp trick."""
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic function, stable for large |x|."""
+    # sigma(x) = 0.5 * (tanh(x / 2) + 1) avoids overflow in exp
+    return (x * 0.5).tanh() * 0.5 + 0.5
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean categorical cross-entropy of ``logits`` (rows) vs class indices."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("targets must have one class index per logit row")
+    logp = log_softmax(logits, axis=-1)
+    mask = np.zeros(logits.shape)
+    mask[np.arange(targets.size), targets] = 1.0
+    picked = (logp * Tensor(mask)).sum(axis=-1)
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Normalize each row of a 2-D tensor to unit L2 norm (differentiably)."""
+    norms = (x * x).sum(axis=-1, keepdims=True).clip_min(eps).sqrt()
+    return x / norms

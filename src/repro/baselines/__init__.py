@@ -1,0 +1,38 @@
+"""The seven competitor methods of Section IV-A2, re-implemented.
+
+Every baseline exposes the same interface (:class:`EmbeddingMethod`):
+``fit(graph)`` trains and returns ``{node_id: d-dimensional vector}``.
+
+- homogeneous: :class:`LINE` (2nd-order), :class:`DeepWalk`,
+  :class:`Node2Vec` — node/edge types ignored, as in the paper's setup;
+- path-based heterogeneous: :class:`Metapath2Vec` (user-specified
+  metapath), :class:`HIN2Vec` (relation-aware pair classification);
+- multi-view: :class:`MVE` (view-specific skip-grams collaborating with a
+  consensus embedding; unsupervised equal-weight variant);
+- knowledge-graph: :class:`RGCN` (relational GCN + DistMult edge
+  reconstruction), :class:`SimplE` (enhanced canonical polyadic
+  decomposition).  Both consume unit edge weights, as in the paper.
+"""
+
+from repro.baselines.base import EmbeddingMethod, RandomEmbedding
+from repro.baselines.deepwalk import DeepWalk
+from repro.baselines.hin2vec import HIN2Vec
+from repro.baselines.line import LINE
+from repro.baselines.metapath2vec import Metapath2Vec
+from repro.baselines.mve import MVE
+from repro.baselines.node2vec import Node2Vec
+from repro.baselines.rgcn import RGCN
+from repro.baselines.simple import SimplE
+
+__all__ = [
+    "EmbeddingMethod",
+    "RandomEmbedding",
+    "LINE",
+    "DeepWalk",
+    "Node2Vec",
+    "Metapath2Vec",
+    "HIN2Vec",
+    "MVE",
+    "RGCN",
+    "SimplE",
+]

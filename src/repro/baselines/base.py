@@ -1,0 +1,67 @@
+"""Common interface of all embedding methods (TransN and baselines)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+Embeddings = dict[NodeId, np.ndarray]
+
+
+class EmbeddingMethod(ABC):
+    """A network-embedding method: ``fit(graph) -> {node: vector}``.
+
+    Subclasses must set :attr:`name` and implement :meth:`fit`; the
+    returned mapping must contain *every* node of the input graph (methods
+    that cannot embed some nodes — e.g. Metapath2Vec for off-path types —
+    return zero vectors for them, which is what running the original code
+    and filling gaps would give the downstream classifier).
+    """
+
+    name: str = "unnamed"
+
+    def __init__(self, dim: int = 32, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.seed = seed
+
+    @abstractmethod
+    def fit(self, graph: HeteroGraph) -> Embeddings:
+        """Train on ``graph`` and return an embedding per node."""
+
+    # ------------------------------------------------------------------
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def _init_matrix(
+        self, num_rows: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """word2vec-style input initialization."""
+        bound = 0.5 / self.dim
+        return rng.uniform(-bound, bound, size=(num_rows, self.dim))
+
+    def _as_dict(
+        self, graph: HeteroGraph, matrix: np.ndarray
+    ) -> Embeddings:
+        """Map a (num_nodes, dim) matrix in graph index order to a dict."""
+        return {
+            node: matrix[graph.index_of(node)].copy() for node in graph.nodes
+        }
+
+
+class RandomEmbedding(EmbeddingMethod):
+    """Gaussian random embeddings — the sanity-check floor every trained
+    method must beat (used by the integration tests)."""
+
+    name = "Random"
+
+    def fit(self, graph: HeteroGraph) -> Embeddings:
+        rng = self._rng()
+        matrix = rng.normal(size=(graph.num_nodes, self.dim))
+        return self._as_dict(graph, matrix)

@@ -1,0 +1,121 @@
+"""MVE (Qu et al. 2017), unsupervised equal-weight variant.
+
+MVE learns one embedding per node per view with skip-gram, plus a robust
+*consensus* embedding; view-specific embeddings are regularized toward the
+consensus.  The supervised attention over views is replaced — as the paper
+prescribes for fair comparison — by equal view weights, making the
+consensus the plain average.  Views are separated by edge type (the same
+separation TransN uses) so MVE can run on multi-node-type networks here;
+its published form assumes a single node type, which is the limitation
+Section I discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph
+from repro.graph.views import separate_views
+from repro.skipgram import NoiseDistribution, SkipGramTrainer, extract_pairs
+from repro.walks import UniformWalker, build_corpus
+
+from repro.baselines.base import EmbeddingMethod, Embeddings
+from repro.baselines.deepwalk import _sgns_epoch
+
+
+class MVE(EmbeddingMethod):
+    """Multi-view embedding with consensus regularization."""
+
+    name = "MVE"
+
+    def __init__(
+        self,
+        dim: int = 32,
+        seed: int = 0,
+        walk_length: int = 20,
+        walks_per_node: int = 6,
+        window: int = 2,
+        num_negatives: int = 5,
+        epochs: int = 4,
+        lr: float = 0.08,
+        consensus_pull: float = 0.2,
+        batch_size: int = 128,
+    ) -> None:
+        super().__init__(dim=dim, seed=seed)
+        self.walk_length = walk_length
+        self.walks_per_node = walks_per_node
+        self.window = window
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+        self.consensus_pull = consensus_pull
+        self.batch_size = batch_size
+
+    def fit(self, graph: HeteroGraph) -> Embeddings:
+        rng = self._rng()
+        views = separate_views(graph)
+        view_emb = {
+            v.edge_type: self._init_matrix(v.num_nodes, rng) for v in views
+        }
+        trainers = {
+            v.edge_type: SkipGramTrainer(view_emb[v.edge_type], rng=rng)
+            for v in views
+        }
+        walkers = {v.edge_type: UniformWalker(v, rng=rng) for v in views}
+        noises: dict[str, NoiseDistribution] = {}
+
+        consensus = np.zeros((graph.num_nodes, self.dim))
+        counts = np.zeros(graph.num_nodes)
+        for view in views:
+            for node in view.graph.nodes:
+                counts[graph.index_of(node)] += 1
+
+        for _ in range(self.epochs):
+            for view in views:
+                key = view.edge_type
+                corpus = build_corpus(
+                    view,
+                    walkers[key],
+                    length=self.walk_length,
+                    walks_per_node_override=self.walks_per_node,
+                    rng=rng,
+                )
+                if key not in noises:
+                    freq = np.zeros(view.num_nodes)
+                    for node, count in corpus.node_frequencies().items():
+                        freq[view.graph.index_of(node)] = count
+                    noises[key] = NoiseDistribution(freq, view.num_nodes)
+                centers, contexts = [], []
+                index_of = view.graph.index_of
+                for walk in corpus:
+                    for center, context in extract_pairs(walk, self.window):
+                        centers.append(index_of(center))
+                        contexts.append(index_of(context))
+                _sgns_epoch(
+                    trainers[key],
+                    np.asarray(centers, dtype=np.int64),
+                    np.asarray(contexts, dtype=np.int64),
+                    noises[key],
+                    rng,
+                    self.num_negatives,
+                    self.lr,
+                    self.batch_size,
+                )
+            # consensus = equal-weight average of view embeddings
+            consensus[:] = 0.0
+            for view in views:
+                matrix = view_emb[view.edge_type]
+                for node in view.graph.nodes:
+                    consensus[graph.index_of(node)] += matrix[
+                        view.graph.index_of(node)
+                    ]
+            nonzero = counts > 0
+            consensus[nonzero] /= counts[nonzero, None]
+            # pull every view embedding toward the consensus
+            for view in views:
+                matrix = view_emb[view.edge_type]
+                for node in view.graph.nodes:
+                    i = view.graph.index_of(node)
+                    g = graph.index_of(node)
+                    matrix[i] += self.consensus_pull * (consensus[g] - matrix[i])
+        return self._as_dict(graph, consensus)

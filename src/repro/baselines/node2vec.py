@@ -1,0 +1,75 @@
+"""Node2Vec (Grover & Leskovec 2016): p/q-biased walks + skip-gram."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph
+from repro.skipgram import NoiseDistribution, SkipGramTrainer
+from repro.walks import Node2VecWalker, build_corpus
+
+from repro.baselines.base import EmbeddingMethod, Embeddings
+from repro.baselines.deepwalk import _pairs_to_indices, _sgns_epoch
+
+
+class Node2Vec(EmbeddingMethod):
+    """Second-order biased walks (return p, in-out q) fed to SGNS."""
+
+    name = "Node2Vec"
+
+    def __init__(
+        self,
+        dim: int = 32,
+        seed: int = 0,
+        p: float = 1.0,
+        q: float = 0.5,
+        walk_length: int = 20,
+        walks_per_node: int = 6,
+        window: int = 3,
+        num_negatives: int = 5,
+        epochs: int = 4,
+        lr: float = 0.08,
+        batch_size: int = 128,
+    ) -> None:
+        super().__init__(dim=dim, seed=seed)
+        self.p = p
+        self.q = q
+        self.walk_length = walk_length
+        self.walks_per_node = walks_per_node
+        self.window = window
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+
+    def fit(self, graph: HeteroGraph) -> Embeddings:
+        rng = self._rng()
+        matrix = self._init_matrix(graph.num_nodes, rng)
+        trainer = SkipGramTrainer(matrix, rng=rng)
+        walker = Node2VecWalker(graph, p=self.p, q=self.q, rng=rng)
+        noise: NoiseDistribution | None = None
+        for _ in range(self.epochs):
+            corpus = build_corpus(
+                graph,
+                walker,
+                length=self.walk_length,
+                walks_per_node_override=self.walks_per_node,
+                rng=rng,
+            )
+            if noise is None:
+                counts = np.zeros(graph.num_nodes)
+                for node, count in corpus.node_frequencies().items():
+                    counts[graph.index_of(node)] = count
+                noise = NoiseDistribution(counts, graph.num_nodes)
+            centers, contexts = _pairs_to_indices(graph, corpus, self.window)
+            _sgns_epoch(
+                trainer,
+                centers,
+                contexts,
+                noise,
+                rng,
+                self.num_negatives,
+                self.lr,
+                self.batch_size,
+            )
+        return self._as_dict(graph, matrix)

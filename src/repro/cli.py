@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate <dataset> --graph g.tsv --labels l.tsv [--seed N]
+    repro stats    <graph.tsv> [--labels l.tsv]
+    repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32] ...
+    repro classify <graph.tsv> <labels.tsv> [--method transn] ...
+    repro linkpred <graph.tsv> [--method transn] [--removal 0.4] ...
+
+Graphs use the TSV format of :mod:`repro.graph.io`; labels are
+``node_id<TAB>label`` lines; embeddings use the word2vec text format.
+
+Example end-to-end session::
+
+    repro generate app-daily --graph app.tsv --labels app-labels.tsv
+    repro stats app.tsv --labels app-labels.tsv
+    repro train app.tsv --out app-emb.txt --method transn --dim 32
+    repro classify app.tsv app-labels.tsv --method transn
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import TransNConfig
+from repro.graph import compute_statistics, load_graph, save_embeddings, save_graph
+from repro.graph.heterograph import HeteroGraph
+
+
+def _load_labels(path: str | Path) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    with Path(path).open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise SystemExit(
+                    f"{path}:{line_number}: labels need 'node<TAB>label'"
+                )
+            labels[parts[0]] = parts[1]
+    return labels
+
+
+def _save_labels(labels: dict, path: str | Path) -> None:
+    with Path(path).open("w") as handle:
+        for node, label in labels.items():
+            handle.write(f"{node}\t{label}\n")
+
+
+def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
+    """Instantiate a method by CLI name."""
+    from repro.baselines import LINE, MVE, RGCN, DeepWalk, HIN2Vec, Node2Vec, SimplE
+    from repro.eval.methods import TransNMethod
+
+    name = name.lower()
+    dim, seed = args.dim, args.seed
+    if name == "transn":
+        config = TransNConfig(
+            dim=dim, seed=seed, num_iterations=args.iterations
+        )
+        return TransNMethod(config)
+    simple = {
+        "line": lambda: LINE(dim=dim, seed=seed),
+        "deepwalk": lambda: DeepWalk(dim=dim, seed=seed),
+        "node2vec": lambda: Node2Vec(dim=dim, seed=seed),
+        "hin2vec": lambda: HIN2Vec(dim=dim, seed=seed),
+        "mve": lambda: MVE(dim=dim, seed=seed),
+        "rgcn": lambda: RGCN(dim=dim, seed=seed),
+        "simple": lambda: SimplE(dim=dim, seed=seed),
+    }
+    if name not in simple:
+        raise SystemExit(
+            f"unknown method {name!r}; choose from transn, "
+            + ", ".join(sorted(simple))
+        )
+    return simple[name]()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        make_aminer,
+        make_app_daily,
+        make_app_weekly,
+        make_blog,
+    )
+    from repro.datasets.aminer import AMinerConfig
+    from repro.datasets.blog import BlogConfig
+
+    makers = {
+        "aminer": lambda: make_aminer(AMinerConfig(seed=args.seed)),
+        "blog": lambda: make_blog(BlogConfig(seed=args.seed)),
+        "app-daily": lambda: make_app_daily(seed=args.seed),
+        "app-weekly": lambda: make_app_weekly(seed=args.seed),
+    }
+    if args.dataset not in makers:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; choose from "
+            + ", ".join(sorted(makers))
+        )
+    graph, labels = makers[args.dataset]()
+    save_graph(graph, args.graph)
+    if args.labels:
+        _save_labels(labels, args.labels)
+    print(f"wrote {graph} to {args.graph}")
+    if args.labels:
+        print(f"wrote {len(labels)} labels to {args.labels}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    labels = _load_labels(args.labels) if args.labels else None
+    stats = compute_statistics(graph, Path(args.graph).stem, labels)
+    for key, value in stats.as_row().items():
+        print(f"{key:24s} {value}")
+    print(f"{'Density':24s} {stats.density:.5f}")
+    print(f"{'Average degree':24s} {stats.average_degree:.2f}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    method = _make_method(args.method, graph, args)
+    print(f"training {method.name} (d={args.dim}) on {graph} ...")
+    embeddings = method.fit(graph)
+    save_embeddings(embeddings, args.out)
+    print(f"wrote {len(embeddings)} embeddings to {args.out}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.eval import run_node_classification
+
+    graph = load_graph(args.graph)
+    labels = _load_labels(args.labels)
+    method = _make_method(args.method, graph, args)
+    print(f"training {method.name} on {graph} ...")
+    embeddings = method.fit(graph)
+    result = run_node_classification(
+        embeddings, labels, repeats=args.repeats, seed=args.seed
+    )
+    print(
+        f"macro-F1 {result.macro_f1:.4f} (±{result.macro_std:.3f})  "
+        f"micro-F1 {result.micro_f1:.4f} (±{result.micro_std:.3f})  "
+        f"[{result.repeats} repeats]"
+    )
+    return 0
+
+
+def _cmd_linkpred(args: argparse.Namespace) -> int:
+    from repro.eval import run_link_prediction
+
+    graph = load_graph(args.graph)
+    result = run_link_prediction(
+        lambda: _make_method(args.method, graph, args),
+        graph,
+        removal_fraction=args.removal,
+        seed=args.seed,
+    )
+    print(
+        f"AUC {result.auc:.4f}  "
+        f"({result.num_positive} positives / {result.num_negative} negatives)"
+    )
+    return 0
+
+
+def _add_method_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method",
+        default="transn",
+        help="transn (default), line, deepwalk, node2vec, hin2vec, mve, "
+        "rgcn, or simple",
+    )
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=TransNConfig().num_iterations,
+        help="TransN outer iterations (Algorithm 1's K)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TransN (ICDE 2020) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser(
+        "generate", help="generate a synthetic dataset"
+    )
+    p_generate.add_argument("dataset")
+    p_generate.add_argument("--graph", required=True)
+    p_generate.add_argument("--labels")
+    p_generate.add_argument("--seed", type=int, default=0)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="print Table II-style statistics")
+    p_stats.add_argument("graph")
+    p_stats.add_argument("--labels")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_train = sub.add_parser("train", help="train embeddings and save them")
+    p_train.add_argument("graph")
+    p_train.add_argument("--out", required=True)
+    _add_method_options(p_train)
+    p_train.set_defaults(func=_cmd_train)
+
+    p_classify = sub.add_parser(
+        "classify", help="node classification (Table III protocol)"
+    )
+    p_classify.add_argument("graph")
+    p_classify.add_argument("labels")
+    p_classify.add_argument("--repeats", type=int, default=10)
+    _add_method_options(p_classify)
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_linkpred = sub.add_parser(
+        "linkpred", help="link prediction (Table IV protocol)"
+    )
+    p_linkpred.add_argument("graph")
+    p_linkpred.add_argument("--removal", type=float, default=0.4)
+    _add_method_options(p_linkpred)
+    p_linkpred.set_defaults(func=_cmd_linkpred)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""TransN — the paper's primary contribution.
+
+- :class:`~repro.core.config.TransNConfig` — hyper-parameters plus the
+  Table V ablation switches.
+- :class:`~repro.core.single_view.SingleViewTrainer` — Section III-A.
+- :class:`~repro.core.translator.Translator` /
+  :class:`~repro.core.cross_view.CrossViewTrainer` — Section III-B.
+- :class:`~repro.core.model.TransN` — Algorithm 1 end to end.
+"""
+
+from repro.core.config import TransNConfig
+from repro.core.cross_view import CrossViewTrainer, RowAdam, similarity_loss
+from repro.core.model import TrainingHistory, TransN
+from repro.core.single_view import SingleViewTrainer
+from repro.core.translator import SimpleTranslator, Translator, make_translator
+
+__all__ = [
+    "TransN",
+    "TransNConfig",
+    "TrainingHistory",
+    "SingleViewTrainer",
+    "CrossViewTrainer",
+    "Translator",
+    "SimpleTranslator",
+    "make_translator",
+    "RowAdam",
+    "similarity_loss",
+]

@@ -1,0 +1,133 @@
+"""TransN hyper-parameters and ablation switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TransNConfig:
+    """Everything Algorithm 1 needs, plus the Table V ablation switches.
+
+    Scale note: the paper runs d=128, walk length 80, walks/node in
+    [10, 32], H=6 encoders.  The defaults here are scaled down (see
+    DESIGN.md §5) so the full benchmark sweep finishes on a laptop; every
+    benchmark prints both settings.
+
+    Attributes:
+        dim: embedding dimensionality d.
+        walk_length: nodes per sampled walk (paper: 80).
+        walk_floor / walk_cap: the per-node walk-count policy
+            ``max(min(degree, cap), floor)`` (paper: 10 / 32).
+        num_iterations: outer iterations K of Algorithm 1.
+        lr_single: SGD learning rate of the skip-gram updates.
+        lr_cross: Adam learning rate of the translator parameters.
+        lr_cross_embeddings: Adam learning rate of the common-node
+            embedding rows updated by the cross-view algorithm (Theta_cross
+            includes both; a higher embedding rate strengthens the
+            cross-view alignment of view spaces, which the final averaging
+            of Section III-C depends on).
+        num_negatives: negative samples per skip-gram pair.
+        num_encoders: encoders H per translator (paper: 6).
+        cross_path_len: fixed path length fed to translators after
+            common-node filtering (chunks; see
+            :func:`repro.walks.corpus.chunk_paths`).
+        cross_paths_per_pair: pairs of paths T sampled per view-pair per
+            iteration.
+        batch_size: skip-gram minibatch size.
+
+        use_cross_view: Table V "TransN-Without-Cross-View" when False.
+        simple_walk: Table V "TransN-With-Simple-Walk" when True
+            (uniform, weight-blind walks).
+        simple_translator: Table V "TransN-With-Simple-Translator" when
+            True (a single feed-forward layer per translator).
+        use_translation_tasks: Table V "TransN-Without-Translation-Tasks"
+            when False.
+        use_reconstruction_tasks: Table V
+            "TransN-Without-Reconstruction-Tasks" when False.
+        normalize_similarity: cosine-normalized similarity losses (the
+            well-posed reading of Eqs. 11-14; see DESIGN.md §2).  False
+            gives the literal unnormalized inner product, kept for the
+            design-ablation bench.
+        view_weighting: how a node's view-specific embeddings combine
+            into its final embedding.  "uniform" is the paper's equal
+            average (Section III-C); "degree" — an extension beyond the
+            paper — weights each view by the node's degree in it, so a
+            view where the node is peripheral contributes less.
+        seed: RNG seed for all randomness in the model.
+    """
+
+    dim: int = 32
+    walk_length: int = 20
+    walk_floor: int = 3
+    walk_cap: int = 8
+    num_iterations: int = 6
+    lr_single: float = 0.08
+    lr_cross: float = 0.01
+    lr_cross_embeddings: float = 0.01
+    num_negatives: int = 5
+    num_encoders: int = 2
+    cross_path_len: int = 6
+    cross_paths_per_pair: int = 80
+    batch_size: int = 256
+
+    use_cross_view: bool = True
+    simple_walk: bool = False
+    simple_translator: bool = False
+    use_translation_tasks: bool = True
+    use_reconstruction_tasks: bool = True
+    normalize_similarity: bool = True
+    view_weighting: str = "uniform"
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.view_weighting not in ("uniform", "degree"):
+            raise ValueError(
+                f"unknown view_weighting {self.view_weighting!r}; "
+                "expected 'uniform' or 'degree'"
+            )
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+        if self.walk_length < 2:
+            raise ValueError("walk_length must be >= 2")
+        if self.cross_path_len < 2:
+            raise ValueError("cross_path_len must be >= 2")
+        if self.num_encoders < 1:
+            raise ValueError("num_encoders must be >= 1")
+        if not (self.use_translation_tasks or self.use_reconstruction_tasks):
+            if self.use_cross_view:
+                raise ValueError(
+                    "cross-view training needs at least one of the "
+                    "translation/reconstruction tasks enabled"
+                )
+
+    # ------------------------------------------------------------------
+    # Table V presets
+    # ------------------------------------------------------------------
+    def without_cross_view(self) -> "TransNConfig":
+        return replace(self, use_cross_view=False)
+
+    def with_simple_walk(self) -> "TransNConfig":
+        return replace(self, simple_walk=True)
+
+    def with_simple_translator(self) -> "TransNConfig":
+        return replace(self, simple_translator=True)
+
+    def without_translation_tasks(self) -> "TransNConfig":
+        return replace(self, use_translation_tasks=False)
+
+    def without_reconstruction_tasks(self) -> "TransNConfig":
+        return replace(self, use_reconstruction_tasks=False)
+
+    @staticmethod
+    def paper_scale() -> "TransNConfig":
+        """The parameters of Section IV-A3, as published."""
+        return TransNConfig(
+            dim=128,
+            walk_length=80,
+            walk_floor=10,
+            walk_cap=32,
+            num_encoders=6,
+            lr_single=0.025,
+        )

@@ -1,0 +1,289 @@
+"""The cross-view algorithm (Section III-B).
+
+For every view-pair the trainer:
+
+1. reduces the pair to its paired-subviews (Definition 5),
+2. samples walks from each subview with the Section III-A walker,
+3. filters each walk down to the pair's common nodes and re-chunks it to
+   the fixed translator path length,
+4. runs the two translation tasks T1/T2 (Equations 11-12) and the two
+   reconstruction tasks R1/R2 (Equations 13-14) through the translators,
+5. back-propagates into both translators *and* the common nodes'
+   view-specific embeddings (the parameters Theta_cross of Algorithm 1),
+   applying Adam updates to each.
+
+Similarity loss: Equations 11-14 score translated-vs-target paths by the
+row-wise inner product.  As recorded in DESIGN.md §2 we minimize
+``1 - cosine`` of corresponding rows by default (the well-posed reading);
+``normalize=False`` gives the literal unnormalized ``-<a, b>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.functional import l2_normalize_rows
+from repro.graph.heterograph import NodeId
+from repro.graph.views import View, ViewPair, paired_subviews
+from repro.nn import Adam
+from repro.walks import BiasedCorrelatedWalker, UniformWalker
+from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
+
+from repro.core.translator import make_translator
+
+
+def similarity_loss(
+    prediction: Tensor, target: Tensor, normalize: bool = True
+) -> Tensor:
+    """Mean row-similarity loss between two (path_len, d) matrices.
+
+    ``normalize=True``: mean over rows of ``1 - cos(pred_row, target_row)``
+    (bounded, scale-free).  ``normalize=False``: mean over rows of
+    ``-<pred_row, target_row>`` — the literal sign-fixed Equation 11.
+    """
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    if normalize:
+        prediction = l2_normalize_rows(prediction)
+        target = l2_normalize_rows(target)
+        inner = (prediction * target).sum(axis=-1)
+        return (1.0 - inner).mean()
+    return -(prediction * target).sum(axis=-1).mean()
+
+
+class RowAdam:
+    """Adam over an embedding matrix receiving sparse row gradients.
+
+    Bias correction uses a global step count (the usual sparse-Adam
+    simplification).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        self.matrix = matrix
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = np.zeros_like(matrix)
+        self._v = np.zeros_like(matrix)
+        self._t = 0
+
+    def update(self, rows: np.ndarray, grads: np.ndarray) -> None:
+        """Apply one Adam step to ``rows`` given their gradients."""
+        rows = np.asarray(rows, dtype=np.int64)
+        unique, inverse = np.unique(rows, return_inverse=True)
+        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
+        np.add.at(aggregated, inverse, grads)
+        self._t += 1
+        m = self._m[unique]
+        v = self._v[unique]
+        m = self.beta1 * m + (1.0 - self.beta1) * aggregated
+        v = self.beta2 * v + (1.0 - self.beta2) * aggregated**2
+        self._m[unique] = m
+        self._v[unique] = v
+        m_hat = m / (1.0 - self.beta1**self._t)
+        v_hat = v / (1.0 - self.beta2**self._t)
+        self.matrix[unique] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class CrossViewLosses:
+    """Per-epoch loss bookkeeping of one view-pair."""
+
+    translation: float = 0.0
+    reconstruction: float = 0.0
+    num_paths: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.translation + self.reconstruction
+
+
+class CrossViewTrainer:
+    """Dual-learning trainer of one view-pair eta_{i,j}."""
+
+    def __init__(
+        self,
+        pair: ViewPair,
+        embeddings_i: np.ndarray,
+        embeddings_j: np.ndarray,
+        rng: np.random.Generator,
+        dim: int,
+        cross_path_len: int = 6,
+        num_encoders: int = 2,
+        walk_length: int = 20,
+        paths_per_epoch: int = 80,
+        lr_cross: float = 0.01,
+        lr_cross_embeddings: float | None = None,
+        simple_walk: bool = False,
+        simple_translator: bool = False,
+        use_translation_tasks: bool = True,
+        use_reconstruction_tasks: bool = True,
+        normalize_similarity: bool = True,
+    ) -> None:
+        if not (use_translation_tasks or use_reconstruction_tasks):
+            raise ValueError("at least one cross-view task must be enabled")
+        self.pair = pair
+        self.rng = rng
+        self.dim = dim
+        self.cross_path_len = cross_path_len
+        self.walk_length = walk_length
+        self.paths_per_epoch = paths_per_epoch
+        self.use_translation = use_translation_tasks
+        self.use_reconstruction = use_reconstruction_tasks
+        self.normalize = normalize_similarity
+
+        self.sub_i, self.sub_j = paired_subviews(pair)
+        walker_cls = UniformWalker if simple_walk else BiasedCorrelatedWalker
+        self._walker_i = walker_cls(self.sub_i, rng=rng)
+        self._walker_j = walker_cls(self.sub_j, rng=rng)
+
+        self.translator_ij = make_translator(
+            cross_path_len, dim, num_encoders, simple_translator, rng=rng
+        )
+        self.translator_ji = make_translator(
+            cross_path_len, dim, num_encoders, simple_translator, rng=rng
+        )
+        params = list(self.translator_ij.parameters()) + list(
+            self.translator_ji.parameters()
+        )
+        self._translator_optim = Adam(params, lr=lr_cross)
+
+        emb_lr = lr_cross_embeddings if lr_cross_embeddings is not None else lr_cross
+        self._emb_i = embeddings_i
+        self._emb_j = embeddings_j
+        self._row_adam_i = RowAdam(embeddings_i, lr=emb_lr)
+        self._row_adam_j = RowAdam(embeddings_j, lr=emb_lr)
+
+        # common nodes that survived the subview reduction on both sides
+        self._common = sorted(
+            pair.common_nodes & self.sub_i.nodes & self.sub_j.nodes,
+            key=str,
+        )
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _sample_chunks(
+        self, subview: View, walker, keep: set[NodeId]
+    ) -> list[list[NodeId]]:
+        """T walks from common-node starts -> filter -> fixed-length chunks."""
+        starts = [n for n in self._common if subview.graph.has_node(n)]
+        if not starts:
+            return []
+        walks = []
+        for _ in range(self.paths_per_epoch):
+            start = starts[int(self.rng.integers(len(starts)))]
+            walks.append(walker.walk(start, self.walk_length))
+        corpus = filter_to_nodes(
+            WalkCorpus(walks, self.walk_length), keep, min_length=2
+        )
+        return [list(c) for c in chunk_paths(corpus, self.cross_path_len)]
+
+    def _rows(self, view: View, chunk: list[NodeId]) -> np.ndarray:
+        index_of = view.graph.index_of
+        return np.asarray([index_of(n) for n in chunk], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _train_direction(
+        self,
+        chunk: list[NodeId],
+        source_view: View,
+        target_view: View,
+        source_emb: np.ndarray,
+        target_emb: np.ndarray,
+        source_adam: RowAdam,
+        target_adam: RowAdam,
+        forward,
+        backward,
+    ) -> tuple[float, float]:
+        """One SGD step on one chunk in one direction.
+
+        ``forward`` translates source->target, ``backward`` target->source
+        (used by the reconstruction task).  Returns (translation loss,
+        reconstruction loss) as floats.
+        """
+        src_rows = self._rows(source_view, chunk)
+        tgt_rows = self._rows(target_view, chunk)
+        a_src = Tensor(source_emb[src_rows], requires_grad=True)
+        a_tgt = Tensor(target_emb[tgt_rows], requires_grad=True)
+
+        translated = forward(a_src)
+        losses = []
+        t_loss_value = 0.0
+        r_loss_value = 0.0
+        if self.use_translation:
+            t_loss = similarity_loss(translated, a_tgt, self.normalize)
+            losses.append(t_loss)
+            t_loss_value = t_loss.item()
+        if self.use_reconstruction:
+            reconstructed = backward(translated)
+            r_loss = similarity_loss(reconstructed, a_src, self.normalize)
+            losses.append(r_loss)
+            r_loss_value = r_loss.item()
+
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+
+        self._translator_optim.zero_grad()
+        total.backward()
+        self._translator_optim.step()
+        if a_src.grad is not None:
+            source_adam.update(src_rows, a_src.grad)
+        if a_tgt.grad is not None:
+            target_adam.update(tgt_rows, a_tgt.grad)
+        return t_loss_value, r_loss_value
+
+    def train_epoch(self) -> CrossViewLosses:
+        """Lines 9-12 of Algorithm 1 for this view-pair."""
+        keep = set(self._common)
+        losses = CrossViewLosses()
+        chunks_i = self._sample_chunks(self.sub_i, self._walker_i, keep)
+        chunks_j = self._sample_chunks(self.sub_j, self._walker_j, keep)
+        for chunk in chunks_i:
+            t, r = self._train_direction(
+                chunk,
+                self.pair.view_i,
+                self.pair.view_j,
+                self._emb_i,
+                self._emb_j,
+                self._row_adam_i,
+                self._row_adam_j,
+                self.translator_ij,
+                self.translator_ji,
+            )
+            losses.translation += t
+            losses.reconstruction += r
+            losses.num_paths += 1
+        for chunk in chunks_j:
+            t, r = self._train_direction(
+                chunk,
+                self.pair.view_j,
+                self.pair.view_i,
+                self._emb_j,
+                self._emb_i,
+                self._row_adam_j,
+                self._row_adam_i,
+                self.translator_ji,
+                self.translator_ij,
+            )
+            losses.translation += t
+            losses.reconstruction += r
+            losses.num_paths += 1
+        if losses.num_paths:
+            losses.translation /= losses.num_paths
+            losses.reconstruction /= losses.num_paths
+        return losses

@@ -1,0 +1,207 @@
+"""The TransN model: Algorithm 1 end to end.
+
+Usage:
+    >>> from repro.core import TransN, TransNConfig
+    >>> from repro.datasets import two_view_toy
+    >>> graph, _ = two_view_toy()
+    >>> model = TransN(graph, TransNConfig(num_iterations=1))
+    >>> history = model.fit()
+    >>> emb = model.embedding("i0")
+    >>> emb.shape
+    (32,)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.graph.views import build_view_pairs, separate_views
+
+from repro.core.config import TransNConfig
+from repro.core.cross_view import CrossViewTrainer
+from repro.core.single_view import SingleViewTrainer
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectories recorded by :meth:`TransN.fit`."""
+
+    single_view: list[float] = field(default_factory=list)
+    translation: list[float] = field(default_factory=list)
+    reconstruction: list[float] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.single_view)
+
+
+class TransN:
+    """Heterogeneous network embedding by translating node embeddings.
+
+    The constructor performs step 1 of Algorithm 1 (view and view-pair
+    generation) and allocates one view-specific embedding matrix per view;
+    :meth:`fit` runs the K alternating single-view / cross-view
+    iterations; the final embedding of a node is the average of its
+    view-specific embeddings (Section III-C).
+    """
+
+    def __init__(self, graph: HeteroGraph, config: TransNConfig | None = None) -> None:
+        if graph.num_edges == 0:
+            raise ValueError("TransN needs a graph with at least one edge")
+        self.graph = graph
+        self.config = config or TransNConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        self.views = separate_views(graph)
+        self.view_pairs = build_view_pairs(self.views) if self.config.use_cross_view else []
+
+        cfg = self.config
+        # word2vec-style init: small uniform noise.  Crucially, a node's
+        # view-specific embeddings start IDENTICAL across views (drawn once
+        # per node): each view's skip-gram then deforms a shared origin
+        # instead of an independent random space, so the final averaging of
+        # view-specific embeddings (Section III-C) combines roughly aligned
+        # spaces — the cross-view translation keeps them aligned during
+        # training.  The paper does not specify initialization; independent
+        # per-view inits measurably hurt the averaged embedding.
+        bound = 0.5 / cfg.dim
+        node_init = self.rng.uniform(
+            -bound, bound, size=(graph.num_nodes, cfg.dim)
+        )
+        self.view_embeddings: dict[str, np.ndarray] = {}
+        for view in self.views:
+            matrix = np.empty((view.num_nodes, cfg.dim))
+            for node in view.graph.nodes:
+                matrix[view.graph.index_of(node)] = node_init[
+                    graph.index_of(node)
+                ]
+            self.view_embeddings[view.edge_type] = matrix
+
+        self.single_trainers = [
+            SingleViewTrainer(
+                view,
+                self.view_embeddings[view.edge_type],
+                rng=self.rng,
+                walk_length=cfg.walk_length,
+                walk_floor=cfg.walk_floor,
+                walk_cap=cfg.walk_cap,
+                num_negatives=cfg.num_negatives,
+                batch_size=cfg.batch_size,
+                simple_walk=cfg.simple_walk,
+            )
+            for view in self.views
+        ]
+
+        self.cross_trainers = [
+            CrossViewTrainer(
+                pair,
+                self.view_embeddings[pair.view_i.edge_type],
+                self.view_embeddings[pair.view_j.edge_type],
+                rng=self.rng,
+                dim=cfg.dim,
+                cross_path_len=cfg.cross_path_len,
+                num_encoders=cfg.num_encoders,
+                walk_length=cfg.walk_length,
+                paths_per_epoch=cfg.cross_paths_per_pair,
+                lr_cross=cfg.lr_cross,
+                lr_cross_embeddings=cfg.lr_cross_embeddings,
+                simple_walk=cfg.simple_walk,
+                simple_translator=cfg.simple_translator,
+                use_translation_tasks=cfg.use_translation_tasks,
+                use_reconstruction_tasks=cfg.use_reconstruction_tasks,
+                normalize_similarity=cfg.normalize_similarity,
+            )
+            for pair in self.view_pairs
+        ]
+
+        self.history = TrainingHistory()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, num_iterations: int | None = None) -> TrainingHistory:
+        """Run Algorithm 1 for K iterations; returns the loss history.
+
+        Calling :meth:`fit` again continues training from the current
+        state (useful for convergence studies).
+        """
+        iterations = num_iterations if num_iterations is not None else self.config.num_iterations
+        for _ in range(iterations):
+            single_losses = [
+                trainer.train_epoch(lr=self.config.lr_single)
+                for trainer in self.single_trainers
+            ]
+            self.history.single_view.append(float(np.mean(single_losses)))
+
+            if self.cross_trainers:
+                epoch = [trainer.train_epoch() for trainer in self.cross_trainers]
+                trained = [e for e in epoch if e.num_paths > 0]
+                if trained:
+                    self.history.translation.append(
+                        float(np.mean([e.translation for e in trained]))
+                    )
+                    self.history.reconstruction.append(
+                        float(np.mean([e.reconstruction for e in trained]))
+                    )
+        self._fitted = True
+        return self.history
+
+    # ------------------------------------------------------------------
+    # embeddings
+    # ------------------------------------------------------------------
+    def view_specific_embedding(self, node: NodeId, edge_type: str) -> np.ndarray:
+        """The embedding of ``node`` inside the view of ``edge_type``."""
+        view = next(v for v in self.views if v.edge_type == edge_type)
+        if not view.graph.has_node(node):
+            raise KeyError(f"node {node!r} does not appear in view {edge_type!r}")
+        return self.view_embeddings[edge_type][view.graph.index_of(node)].copy()
+
+    def embedding(self, node: NodeId) -> np.ndarray:
+        """Final embedding of ``node``.
+
+        With ``view_weighting="uniform"`` (the paper, Section III-C) this
+        is the plain average of the node's view-specific embeddings; with
+        ``"degree"`` (extension) each view is weighted by the node's
+        degree inside it, down-weighting views where the node is
+        peripheral.
+
+        Nodes isolated in the training graph (possible after edge removal
+        in link prediction) get the zero vector.
+        """
+        if not self.graph.has_node(node):
+            raise KeyError(f"unknown node {node!r}")
+        vectors = []
+        weights = []
+        for view in self.views:
+            if view.graph.has_node(node):
+                matrix = self.view_embeddings[view.edge_type]
+                vectors.append(matrix[view.graph.index_of(node)])
+                if self.config.view_weighting == "degree":
+                    weights.append(float(view.graph.degree(node)))
+                else:
+                    weights.append(1.0)
+        if not vectors:
+            return np.zeros(self.config.dim)
+        weight_total = sum(weights)
+        if weight_total <= 0:
+            return np.mean(vectors, axis=0)
+        return np.average(vectors, axis=0, weights=weights)
+
+    def embeddings(self) -> dict[NodeId, np.ndarray]:
+        """Final embeddings for every node of the input graph."""
+        return {node: self.embedding(node) for node in self.graph.nodes}
+
+    def embedding_matrix(self, nodes: list[NodeId] | None = None) -> np.ndarray:
+        """Embeddings stacked into an (n, d) matrix, rows following
+        ``nodes`` (default: ``graph.nodes`` order)."""
+        nodes = list(nodes) if nodes is not None else list(self.graph.nodes)
+        return np.vstack([self.embedding(node) for node in nodes])
+
+    def fit_transform(self) -> dict[NodeId, np.ndarray]:
+        """``fit()`` followed by :meth:`embeddings`."""
+        self.fit()
+        return self.embeddings()

@@ -1,0 +1,135 @@
+"""The single-view algorithm (Section III-A).
+
+Per view: sample biased correlated random walks, extract context pairs
+under the Definition-6 window (1 on homo-views, 2 on heter-views), and
+run skip-gram-with-negative-sampling SGD steps on the view-specific
+embedding matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.views import View
+from repro.skipgram import NoiseDistribution, SkipGramTrainer, extract_pairs, window_for_view
+from repro.walks import BiasedCorrelatedWalker, UniformWalker, build_corpus
+from repro.walks.corpus import WalkCorpus
+
+
+class SingleViewTrainer:
+    """Owns one view's walks, noise distribution, and SGNS updates.
+
+    Args:
+        view: the view to train on.
+        embeddings: the view-specific embedding matrix, shape
+            (view.num_nodes, dim), indexed by ``view.graph.index_of``;
+            shared with the cross-view trainer and updated in place.
+        simple_walk: use uniform weight-blind walks (Table V ablation).
+        walk_length / walk_floor / walk_cap: corpus parameters.
+        num_negatives: negatives per positive pair.
+        batch_size: SGD minibatch size.
+        rng: the model's random source.
+    """
+
+    def __init__(
+        self,
+        view: View,
+        embeddings: np.ndarray,
+        rng: np.random.Generator,
+        walk_length: int = 20,
+        walk_floor: int = 3,
+        walk_cap: int = 8,
+        num_negatives: int = 5,
+        batch_size: int = 256,
+        simple_walk: bool = False,
+    ) -> None:
+        if embeddings.shape[0] != view.num_nodes:
+            raise ValueError(
+                f"embedding rows ({embeddings.shape[0]}) != view nodes "
+                f"({view.num_nodes})"
+            )
+        self.view = view
+        self.rng = rng
+        self.walk_length = walk_length
+        self.walk_floor = walk_floor
+        self.walk_cap = walk_cap
+        self.num_negatives = num_negatives
+        self.batch_size = batch_size
+        self.window = window_for_view(view)
+        if simple_walk:
+            self.walker = UniformWalker(view, rng=rng)
+        else:
+            self.walker = BiasedCorrelatedWalker(view, rng=rng)
+        self.trainer = SkipGramTrainer(embeddings, rng=rng)
+        self._noise: NoiseDistribution | None = None
+
+    # ------------------------------------------------------------------
+    def sample_corpus(self) -> WalkCorpus:
+        """One round of walks under the degree-based count policy."""
+        return build_corpus(
+            self.view,
+            self.walker,
+            length=self.walk_length,
+            floor=self.walk_floor,
+            cap=self.walk_cap,
+            rng=self.rng,
+        )
+
+    def _pairs_as_indices(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
+        index_of = self.view.graph.index_of
+        centers: list[int] = []
+        contexts: list[int] = []
+        for walk in corpus:
+            for center, context in extract_pairs(walk, self.window):
+                centers.append(index_of(center))
+                contexts.append(index_of(context))
+        return (
+            np.asarray(centers, dtype=np.int64),
+            np.asarray(contexts, dtype=np.int64),
+        )
+
+    def _noise_for(self, corpus: WalkCorpus) -> NoiseDistribution:
+        if self._noise is None:
+            counts = np.zeros(self.view.num_nodes)
+            index_of = self.view.graph.index_of
+            for node, count in corpus.node_frequencies().items():
+                counts[index_of(node)] = count
+            self._noise = NoiseDistribution(counts, self.view.num_nodes)
+        return self._noise
+
+    def train_epoch(self, lr: float) -> float:
+        """One pass (lines 4-7 of Algorithm 1): returns the mean SGNS loss."""
+        corpus = self.sample_corpus()
+        centers, contexts = self._pairs_as_indices(corpus)
+        if centers.size == 0:
+            return 0.0
+        noise = self._noise_for(corpus)
+        total, batches = 0.0, 0
+        for start in range(0, centers.size, self.batch_size):
+            end = min(start + self.batch_size, centers.size)
+            batch_centers = centers[start:end]
+            batch_contexts = contexts[start:end]
+            negatives = noise.sample(
+                self.rng, size=(end - start) * self.num_negatives
+            ).reshape(end - start, self.num_negatives)
+            total += self.trainer.train_batch(
+                batch_centers, batch_contexts, negatives, lr=lr
+            )
+            batches += 1
+        return total / batches
+
+    def evaluate_loss(self, num_pairs: int = 512) -> float:
+        """Monitoring loss on a fresh sample of pairs (no updates)."""
+        corpus = self.sample_corpus()
+        centers, contexts = self._pairs_as_indices(corpus)
+        if centers.size == 0:
+            return 0.0
+        take = min(num_pairs, centers.size)
+        pick = self.rng.choice(centers.size, size=take, replace=False)
+        noise = self._noise_for(corpus)
+        negatives = noise.sample(self.rng, size=take * self.num_negatives)
+        return self.trainer.loss_batch(
+            centers[pick],
+            contexts[pick],
+            negatives.reshape(take, self.num_negatives),
+        )

@@ -1,0 +1,101 @@
+"""Translators: the trainable maps between view embedding spaces.
+
+A translator ``T_{i->j}`` projects the embedding matrix of a sampled path
+(shape ``path_len x d``) from view i's space into view j's (Equation 10):
+a stack of H encoders, each a parameter-free self-attention layer
+(Equation 8) followed by a path-mixing feed-forward layer (Equation 9).
+
+The Table V ablation ``TransN-With-Simple-Translator`` replaces each stack
+by a single feed-forward layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import Encoder, FeedForwardLayer, Module
+
+
+class Translator(Module):
+    """Equation (10): ``T(A) = F(S(... F(S(A)) ...))`` with H encoders.
+
+    The final encoder's feed-forward layer is *linear* (no relu): a relu
+    output would confine translated — and, through the translation and
+    reconstruction losses, the trained — embeddings to the non-negative
+    orthant, which measurably destroys the inner-product geometry the
+    link-prediction protocol scores with.  Hidden encoders keep the relu
+    of Equation (9).  (Recorded as a substitution in DESIGN.md.)
+    """
+
+    def __init__(
+        self,
+        path_len: int,
+        dim: int,
+        num_encoders: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_encoders < 1:
+            raise ValueError("a translator needs at least one encoder")
+        rng = rng or np.random.default_rng()
+        self.path_len = path_len
+        self.dim = dim
+        self.encoders = [
+            Encoder(
+                path_len,
+                dim,
+                rng=rng,
+                activation="relu" if k < num_encoders - 1 else "linear",
+            )
+            for k in range(num_encoders)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        """2H: the self-attention + feed-forward layer count of Eq. 10."""
+        return 2 * len(self.encoders)
+
+    def forward(self, a: Tensor) -> Tensor:
+        if a.shape != (self.path_len, self.dim):
+            raise ValueError(
+                f"translator expects ({self.path_len}, {self.dim}) inputs, "
+                f"got {a.shape}"
+            )
+        for encoder in self.encoders:
+            a = encoder(a)
+        return a
+
+
+class SimpleTranslator(Module):
+    """Ablation translator: one feed-forward layer, no attention."""
+
+    def __init__(
+        self,
+        path_len: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.path_len = path_len
+        self.dim = dim
+        self.feed_forward = FeedForwardLayer(path_len, rng=rng)
+
+    def forward(self, a: Tensor) -> Tensor:
+        if a.shape != (self.path_len, self.dim):
+            raise ValueError(
+                f"translator expects ({self.path_len}, {self.dim}) inputs, "
+                f"got {a.shape}"
+            )
+        return self.feed_forward(a)
+
+
+def make_translator(
+    path_len: int,
+    dim: int,
+    num_encoders: int,
+    simple: bool,
+    rng: np.random.Generator | None = None,
+) -> Module:
+    """Factory switching between the full and ablated translator."""
+    if simple:
+        return SimpleTranslator(path_len, dim, rng=rng)
+    return Translator(path_len, dim, num_encoders, rng=rng)

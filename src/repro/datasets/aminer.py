@@ -1,0 +1,152 @@
+"""Synthetic AMiner-like academic network.
+
+Schema (matching Table II, row "AMiner"):
+    node types: author, paper, venue
+    edge types: AA (coauthorship), AP (authorship), PP (citation),
+                PV (publication)
+    labels:     every paper carries its research topic
+    weights:    all unit
+
+Generation: ``num_topics`` planted research communities with *per-edge-type*
+noise rates.  This mirrors the paper's motivating observation (Section
+III-B): the information inside individual views is biased — e.g. coauthor
+edges frequently cross topic boundaries (interdisciplinary collaborations)
+while publication venues are strongly topic-aligned.  Type-blind methods
+mix the noisy and clean edge types; view-based methods can keep them
+apart, which is exactly the behaviour Table III measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+@dataclass(frozen=True)
+class AMinerConfig:
+    """Scale and per-edge-type noise knobs.
+
+    ``*_noise`` is the probability that an edge of that type ignores the
+    planted topic structure.  Defaults are ~10x smaller than the paper's
+    snapshot (2,161 authors / 2,555 papers / 58 venues); benchmarks can
+    pass larger values.
+    """
+
+    num_authors: int = 220
+    num_papers: int = 260
+    num_venues: int = 12
+    num_topics: int = 4
+    num_institutions: int = 8
+    papers_per_author: int = 2
+    citations_per_paper: int = 3
+    coauthors_per_author: int = 5
+    aa_noise: float = 0.2
+    pp_noise: float = 0.45
+    ap_noise: float = 0.15
+    pv_noise: float = 0.2
+    seed: int = 7
+
+
+def make_aminer(
+    config: AMinerConfig | None = None,
+) -> tuple[HeteroGraph, dict[NodeId, int]]:
+    """Generate the network; returns ``(graph, paper_labels)``."""
+    cfg = config or AMinerConfig()
+    if cfg.num_topics < 2:
+        raise ValueError("need at least two topics for classification")
+    if cfg.num_venues < cfg.num_topics:
+        raise ValueError("need at least one venue per topic")
+    rng = np.random.default_rng(cfg.seed)
+
+    authors = [f"a{i}" for i in range(cfg.num_authors)]
+    papers = [f"p{i}" for i in range(cfg.num_papers)]
+    venues = [f"v{i}" for i in range(cfg.num_venues)]
+
+    author_topic = rng.integers(cfg.num_topics, size=cfg.num_authors)
+    author_institution = rng.integers(
+        cfg.num_institutions, size=cfg.num_authors
+    )
+    paper_topic = rng.integers(cfg.num_topics, size=cfg.num_papers)
+    venue_topic = np.arange(cfg.num_venues) % cfg.num_topics
+
+    graph = HeteroGraph()
+    for node in authors:
+        graph.add_node(node, "author")
+    for node in papers:
+        graph.add_node(node, "paper")
+    for node in venues:
+        graph.add_node(node, "venue")
+
+    papers_by_topic = [
+        np.flatnonzero(paper_topic == t) for t in range(cfg.num_topics)
+    ]
+    authors_by_institution = [
+        np.flatnonzero(author_institution == i)
+        for i in range(cfg.num_institutions)
+    ]
+    venues_by_topic = [
+        np.flatnonzero(venue_topic == t) for t in range(cfg.num_topics)
+    ]
+
+    # AP: authorship — authors write papers mostly in their home topic
+    ap_edges: set[tuple[int, int]] = set()
+    for a in range(cfg.num_authors):
+        for _ in range(cfg.papers_per_author):
+            if rng.random() < cfg.ap_noise:
+                p = int(rng.integers(cfg.num_papers))
+            else:
+                pool = papers_by_topic[int(author_topic[a])]
+                if pool.size == 0:
+                    continue
+                p = int(pool[rng.integers(pool.size)])
+            ap_edges.add((a, p))
+    for a, p in sorted(ap_edges):
+        graph.add_edge(authors[a], papers[p], "AP")
+
+    # AA: coauthorship follows *institutions*, not topics — the orthogonal
+    # community structure of Figure 2's affiliation story.  Type-blind
+    # methods absorb it into paper embeddings; view-based methods keep it
+    # in its own view (papers do not even appear there).
+    aa_edges: set[tuple[int, int]] = set()
+    for a in range(cfg.num_authors):
+        for _ in range(cfg.coauthors_per_author):
+            if rng.random() < cfg.aa_noise:
+                b = int(rng.integers(cfg.num_authors))
+            else:
+                pool = authors_by_institution[int(author_institution[a])]
+                if pool.size < 2:
+                    continue
+                b = int(pool[rng.integers(pool.size)])
+            if b != a:
+                aa_edges.add((min(a, b), max(a, b)))
+    for u, v in sorted(aa_edges):
+        graph.add_edge(authors[u], authors[v], "AA")
+
+    # PP: citations — moderately noisy
+    pp_edges: set[tuple[int, int]] = set()
+    for p in range(cfg.num_papers):
+        for _ in range(cfg.citations_per_paper):
+            if rng.random() < cfg.pp_noise:
+                q = int(rng.integers(cfg.num_papers))
+            else:
+                pool = papers_by_topic[int(paper_topic[p])]
+                q = int(pool[rng.integers(pool.size)])
+            if q != p:
+                pp_edges.add((min(p, q), max(p, q)))
+    for p, q in sorted(pp_edges):
+        graph.add_edge(papers[p], papers[q], "PP")
+
+    # PV: publication — venues are strongly topic-aligned
+    for p in range(cfg.num_papers):
+        if rng.random() < cfg.pv_noise:
+            v = int(rng.integers(cfg.num_venues))
+        else:
+            pool = venues_by_topic[int(paper_topic[p])]
+            v = int(pool[rng.integers(pool.size)])
+        graph.add_edge(papers[p], venues[v], "PV")
+
+    labels = {papers[p]: int(paper_topic[p]) for p in range(cfg.num_papers)}
+    return graph, labels

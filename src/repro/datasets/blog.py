@@ -1,0 +1,121 @@
+"""Synthetic BLOG-like social network.
+
+Schema (matching Table II, row "BLOG"):
+    node types: user, keyword
+    edge types: UU (friendship), UK (keyword usage), KK (keyword relevance)
+    labels:     every user carries an interest field
+    weights:    all unit
+
+Signal placement follows the paper's own analysis of why TransN wins on
+BLOG: the discriminative information lives in the *keyword* views —
+"similar users usually post common keywords" — while friendship is dense
+but largely cross-interest (people befriend beyond their interest field).
+A type-blind method mixes the noisy dense UU view into every user's
+context; a view-based method keeps the clean UK/KK signal separate and
+transfers it to the friendship view across the shared user nodes.  The
+views are strongly *correlated* (the keyword a user posts predicts their
+friends' keywords), which is also what makes BLOG the network where
+TransN's link-prediction margin is biggest (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+@dataclass(frozen=True)
+class BlogConfig:
+    """Scale and noise knobs (defaults scaled down from 57k users).
+
+    ``uu_cross_rate`` / ``uk_cross_rate`` are the probabilities that a
+    friendship / keyword-usage edge ignores the interest structure.
+    """
+
+    num_users: int = 300
+    num_keywords: int = 80
+    num_interests: int = 8
+    friends_per_user: int = 12
+    keywords_per_user: int = 5
+    keyword_links: int = 90
+    uu_cross_rate: float = 0.8
+    uk_cross_rate: float = 0.35
+    seed: int = 11
+
+
+def make_blog(
+    config: BlogConfig | None = None,
+) -> tuple[HeteroGraph, dict[NodeId, int]]:
+    """Generate the network; returns ``(graph, user_labels)``."""
+    cfg = config or BlogConfig()
+    if cfg.num_interests < 2:
+        raise ValueError("need at least two interest groups")
+    if cfg.num_keywords < 2 * cfg.num_interests:
+        raise ValueError("need at least two keywords per interest group")
+    rng = np.random.default_rng(cfg.seed)
+
+    users = [f"u{i}" for i in range(cfg.num_users)]
+    keywords = [f"k{i}" for i in range(cfg.num_keywords)]
+    user_interest = rng.integers(cfg.num_interests, size=cfg.num_users)
+    keyword_interest = np.arange(cfg.num_keywords) % cfg.num_interests
+
+    graph = HeteroGraph()
+    for node in users:
+        graph.add_node(node, "user")
+    for node in keywords:
+        graph.add_node(node, "keyword")
+
+    users_by_interest = [
+        np.flatnonzero(user_interest == g) for g in range(cfg.num_interests)
+    ]
+    keywords_by_interest = [
+        np.flatnonzero(keyword_interest == g) for g in range(cfg.num_interests)
+    ]
+
+    # UU: dense friendship, mostly cross-interest (noisy view)
+    uu_edges: set[tuple[int, int]] = set()
+    for u in range(cfg.num_users):
+        for _ in range(cfg.friends_per_user):
+            if rng.random() < cfg.uu_cross_rate:
+                v = int(rng.integers(cfg.num_users))
+            else:
+                pool = users_by_interest[int(user_interest[u])]
+                if pool.size < 2:
+                    continue
+                v = int(pool[rng.integers(pool.size)])
+            if v != u:
+                uu_edges.add((min(u, v), max(u, v)))
+    for u, v in sorted(uu_edges):
+        graph.add_edge(users[u], users[v], "UU")
+
+    # UK: users post keywords of their interest group (clean view)
+    uk_edges: set[tuple[int, int]] = set()
+    for u in range(cfg.num_users):
+        for _ in range(cfg.keywords_per_user):
+            if rng.random() < cfg.uk_cross_rate:
+                k = int(rng.integers(cfg.num_keywords))
+            else:
+                pool = keywords_by_interest[int(user_interest[u])]
+                k = int(pool[rng.integers(pool.size)])
+            uk_edges.add((u, k))
+    for u, k in sorted(uk_edges):
+        graph.add_edge(users[u], keywords[k], "UK")
+
+    # KK: keyword relevance within interest groups (clean view)
+    kk_edges: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(kk_edges) < cfg.keyword_links and attempts < 50 * cfg.keyword_links:
+        attempts += 1
+        pool = keywords_by_interest[int(rng.integers(cfg.num_interests))]
+        if pool.size < 2:
+            continue
+        a, b = (int(x) for x in rng.choice(pool, size=2, replace=False))
+        kk_edges.add((min(a, b), max(a, b)))
+    for a, b in sorted(kk_edges):
+        graph.add_edge(keywords[a], keywords[b], "KK")
+
+    labels = {users[u]: int(user_interest[u]) for u in range(cfg.num_users)}
+    return graph, labels

@@ -1,0 +1,48 @@
+"""Evaluation pipelines reproducing Section IV.
+
+- :mod:`~repro.eval.node_classification` — the Table III/V protocol:
+  90/10 split, logistic regression, micro/macro F1, averaged over
+  repeats.
+- :mod:`~repro.eval.link_prediction` — the Table IV protocol: remove 40%
+  of the edges, train on the rest, score candidate pairs by embedding
+  inner product, report ROC-AUC.
+- :mod:`~repro.eval.case_study` — the Figure 6 protocol: sample applets
+  per category, project embeddings with t-SNE, quantify cluster
+  separation with the silhouette score.
+- :mod:`~repro.eval.methods` — the registry of all methods (TransN, its
+  five Table V ablations, and the seven baselines) with per-dataset
+  settings such as metapaths.
+"""
+
+from repro.eval.case_study import CaseStudyResult, run_case_study
+from repro.eval.clustering import ClusteringResult, run_clustering
+from repro.eval.robustness import RobustnessPoint, inject_noise_edges, run_noise_sweep
+from repro.eval.link_prediction import LinkPredictionResult, run_link_prediction
+from repro.eval.methods import (
+    TransNMethod,
+    ablation_methods,
+    baseline_methods,
+    method_registry,
+)
+from repro.eval.node_classification import (
+    NodeClassificationResult,
+    run_node_classification,
+)
+
+__all__ = [
+    "run_node_classification",
+    "run_clustering",
+    "ClusteringResult",
+    "run_noise_sweep",
+    "inject_noise_edges",
+    "RobustnessPoint",
+    "NodeClassificationResult",
+    "run_link_prediction",
+    "LinkPredictionResult",
+    "run_case_study",
+    "CaseStudyResult",
+    "TransNMethod",
+    "method_registry",
+    "baseline_methods",
+    "ablation_methods",
+]

@@ -1,0 +1,118 @@
+"""The method registry used by benchmarks and integration tests.
+
+``method_registry(dataset)`` returns name -> zero-argument factory for the
+eight Table III/IV methods; ``ablation_methods()`` the six Table V rows.
+Per-dataset settings (Metapath2Vec's metapath, chiefly) mirror Section
+IV-A3: "APVPA" on AMiner, "UKU" on BLOG, "AUAKA"-style on the app stores —
+expressed over this repo's type names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import (
+    LINE,
+    MVE,
+    RGCN,
+    DeepWalk,
+    EmbeddingMethod,
+    HIN2Vec,
+    Metapath2Vec,
+    Node2Vec,
+    SimplE,
+)
+from repro.baselines.base import Embeddings
+from repro.core import TransN, TransNConfig
+from repro.graph.heterograph import HeteroGraph
+
+MethodFactory = Callable[[], EmbeddingMethod]
+
+# metapaths per dataset, over this repo's node-type names
+_METAPATHS: dict[str, list[str]] = {
+    "aminer": ["paper", "author", "paper", "venue", "paper"],
+    "blog": ["user", "keyword", "user"],
+    "app-daily": ["applet", "user", "applet", "keyword", "applet"],
+    "app-weekly": ["applet", "user", "applet", "keyword", "applet"],
+}
+
+
+class TransNMethod(EmbeddingMethod):
+    """Adapter exposing :class:`repro.core.TransN` as an EmbeddingMethod."""
+
+    name = "TransN"
+
+    def __init__(self, config: TransNConfig | None = None, name: str | None = None) -> None:
+        config = config or TransNConfig()
+        super().__init__(dim=config.dim, seed=config.seed)
+        self.config = config
+        if name is not None:
+            self.name = name
+
+    def fit(self, graph: HeteroGraph) -> Embeddings:
+        model = TransN(graph, self.config)
+        model.fit()
+        return model.embeddings()
+
+
+def baseline_methods(
+    dataset: str, dim: int = 32, seed: int = 0
+) -> dict[str, MethodFactory]:
+    """The seven competitors of Tables III/IV, configured for ``dataset``."""
+    key = dataset.lower()
+    if key not in _METAPATHS:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; expected one of {sorted(_METAPATHS)}"
+        )
+    metapath = _METAPATHS[key]
+    return {
+        "LINE": lambda: LINE(dim=dim, seed=seed),
+        "Node2Vec": lambda: Node2Vec(dim=dim, seed=seed),
+        "Metapath2Vec": lambda: Metapath2Vec(metapath, dim=dim, seed=seed),
+        "HIN2VEC": lambda: HIN2Vec(dim=dim, seed=seed),
+        "MVE": lambda: MVE(dim=dim, seed=seed),
+        "R-GCN": lambda: RGCN(dim=dim, seed=seed),
+        "SimplE": lambda: SimplE(dim=dim, seed=seed),
+    }
+
+
+def method_registry(
+    dataset: str,
+    dim: int = 32,
+    seed: int = 0,
+    transn_config: TransNConfig | None = None,
+) -> dict[str, MethodFactory]:
+    """All eight methods, TransN last (Table III/IV row order)."""
+    config = transn_config or TransNConfig(dim=dim, seed=seed)
+    methods = baseline_methods(dataset, dim=dim, seed=seed)
+    methods["TransN"] = lambda: TransNMethod(config)
+    return methods
+
+
+def ablation_methods(
+    dim: int = 32,
+    seed: int = 0,
+    base_config: TransNConfig | None = None,
+) -> dict[str, MethodFactory]:
+    """The six Table V rows (five degenerated variants + full TransN)."""
+    base = base_config or TransNConfig(dim=dim, seed=seed)
+    return {
+        "TransN-Without-Cross-View": lambda: TransNMethod(
+            base.without_cross_view(), name="TransN-Without-Cross-View"
+        ),
+        "TransN-With-Simple-Walk": lambda: TransNMethod(
+            base.with_simple_walk(), name="TransN-With-Simple-Walk"
+        ),
+        "TransN-With-Simple-Translator": lambda: TransNMethod(
+            base.with_simple_translator(), name="TransN-With-Simple-Translator"
+        ),
+        "TransN-Without-Translation-Tasks": lambda: TransNMethod(
+            base.without_translation_tasks(),
+            name="TransN-Without-Translation-Tasks",
+        ),
+        "TransN-Without-Reconstruction-Tasks": lambda: TransNMethod(
+            base.without_reconstruction_tasks(),
+            name="TransN-Without-Reconstruction-Tasks",
+        ),
+        "TransN": lambda: TransNMethod(base),
+    }

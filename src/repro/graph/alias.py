@@ -1,0 +1,87 @@
+"""Walker's alias method for O(1) discrete sampling.
+
+Every random-walk engine in this repository draws the next node from a
+categorical distribution over a node's neighbours.  The alias method turns
+an arbitrary categorical distribution over ``n`` outcomes into two tables
+that can be sampled in O(1) after O(n) setup, which is what makes walk
+corpora over large views affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class AliasSampler:
+    """Draw indices ``0..n-1`` with probability proportional to ``weights``.
+
+    Example:
+        >>> rng = np.random.default_rng(0)
+        >>> sampler = AliasSampler([1.0, 3.0])
+        >>> draws = sampler.sample(rng, size=10_000)
+        >>> 0.70 < (draws == 1).mean() < 0.80
+        True
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._n = weights.size
+        self._prob, self._alias = self._build(weights / total)
+
+    @staticmethod
+    def _build(probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = probs.size
+        scaled = probs * n
+        prob = np.zeros(n, dtype=np.float64)
+        alias = np.zeros(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # leftovers are exactly 1 up to floating error
+        for i in large:
+            prob[i] = 1.0
+        for i in small:
+            prob[i] = 1.0
+        return prob, alias
+
+    @property
+    def num_outcomes(self) -> int:
+        return self._n
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one index (``size is None``) or an array of indices."""
+        if size is None:
+            i = int(rng.integers(self._n))
+            if rng.random() < self._prob[i]:
+                return i
+            return int(self._alias[i])
+        idx = rng.integers(self._n, size=size)
+        flips = rng.random(size) < self._prob[idx]
+        return np.where(flips, idx, self._alias[idx])
+
+    def probabilities(self) -> np.ndarray:
+        """Reconstruct the normalized probability vector (for testing)."""
+        probs = np.zeros(self._n, dtype=np.float64)
+        for i in range(self._n):
+            probs[i] += self._prob[i]
+            probs[self._alias[i]] += 1.0 - self._prob[i]
+        return probs / self._n

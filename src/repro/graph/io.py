@@ -1,0 +1,125 @@
+"""Serialization of heterogeneous graphs and embeddings.
+
+Formats:
+
+- graphs: a TSV edge list with a node-type header block, so a dataset can
+  be shipped as a single human-readable file::
+
+      # node <TAB> node_id <TAB> node_type
+      # edge <TAB> u <TAB> v <TAB> edge_type <TAB> weight
+      node    a1      author
+      node    p1      paper
+      edge    a1      p1      authorship      1.0
+
+- embeddings: the word2vec text format (``<n> <d>`` header, then
+  ``node_id v1 v2 ...`` per line), readable by most embedding tooling.
+
+Node IDs are stored as strings; loading returns string IDs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+def save_graph(graph: HeteroGraph, path: str | Path) -> None:
+    """Write ``graph`` as a typed TSV edge list (see module docstring)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write("# node\tnode_id\tnode_type\n")
+        handle.write("# edge\tu\tv\tedge_type\tweight\n")
+        for node in graph.nodes:
+            handle.write(f"node\t{node}\t{graph.node_type(node)}\n")
+        for edge in graph.edges:
+            handle.write(
+                f"edge\t{edge.u}\t{edge.v}\t{edge.edge_type}\t"
+                f"{edge.weight!r}\n"
+            )
+
+
+def load_graph(path: str | Path) -> HeteroGraph:
+    """Read a graph written by :func:`save_graph`.
+
+    Raises:
+        ValueError: on malformed records or unknown record kinds.
+    """
+    graph = HeteroGraph()
+    path = Path(path)
+    with path.open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            kind = parts[0]
+            if kind == "node":
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{path}:{line_number}: node records need 3 fields"
+                    )
+                graph.add_node(parts[1], parts[2])
+            elif kind == "edge":
+                if len(parts) != 5:
+                    raise ValueError(
+                        f"{path}:{line_number}: edge records need 5 fields"
+                    )
+                graph.add_edge(
+                    parts[1], parts[2], parts[3], weight=float(parts[4])
+                )
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record kind {kind!r}"
+                )
+    return graph
+
+
+def save_embeddings(
+    embeddings: Mapping[NodeId, np.ndarray], path: str | Path
+) -> None:
+    """Write embeddings in word2vec text format."""
+    path = Path(path)
+    items = list(embeddings.items())
+    if not items:
+        raise ValueError("cannot save an empty embedding mapping")
+    dim = len(items[0][1])
+    with path.open("w") as handle:
+        handle.write(f"{len(items)} {dim}\n")
+        for node, vector in items:
+            vector = np.asarray(vector)
+            if vector.shape != (dim,):
+                raise ValueError(
+                    f"inconsistent dimension for node {node!r}: "
+                    f"{vector.shape} vs ({dim},)"
+                )
+            values = " ".join(f"{x:.8g}" for x in vector)
+            handle.write(f"{node} {values}\n")
+
+
+def load_embeddings(path: str | Path) -> dict[str, np.ndarray]:
+    """Read embeddings written by :func:`save_embeddings`."""
+    path = Path(path)
+    with path.open() as handle:
+        header = handle.readline().split()
+        if len(header) != 2:
+            raise ValueError(f"{path}: malformed word2vec header")
+        count, dim = int(header[0]), int(header[1])
+        embeddings: dict[str, np.ndarray] = {}
+        for raw in handle:
+            parts = raw.split()
+            if len(parts) != dim + 1:
+                raise ValueError(
+                    f"{path}: expected {dim + 1} fields, got {len(parts)}"
+                )
+            embeddings[parts[0]] = np.array(
+                [float(x) for x in parts[1:]], dtype=np.float64
+            )
+    if len(embeddings) != count:
+        raise ValueError(
+            f"{path}: header promises {count} rows, found {len(embeddings)}"
+        )
+    return embeddings

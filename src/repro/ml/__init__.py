@@ -1,0 +1,42 @@
+"""Machine-learning toolkit for the evaluation pipelines.
+
+The paper evaluates embeddings with scikit-learn (logistic regression,
+micro/macro F1, ROC-AUC) and visualizes them with t-SNE.  scikit-learn is
+not available offline, so this subpackage provides tested equivalents:
+
+- :class:`~repro.ml.logreg.LogisticRegression` — multinomial logistic
+  regression fitted with L-BFGS (scipy).
+- :mod:`~repro.ml.metrics` — micro/macro F1, accuracy, ROC-AUC,
+  silhouette score (the quantitative stand-in for Figure 6's visual
+  cluster separation).
+- :func:`~repro.ml.split.train_test_split` — seeded, optionally stratified.
+- :class:`~repro.ml.tsne.TSNE` and :func:`~repro.ml.pca.pca` — 2-D
+  projections for the case study.
+"""
+
+from repro.ml.kmeans import KMeans, normalized_mutual_information
+from repro.ml.logreg import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_scores,
+    roc_auc_score,
+    silhouette_score,
+)
+from repro.ml.pca import pca
+from repro.ml.split import train_test_split
+from repro.ml.tsne import TSNE
+
+__all__ = [
+    "LogisticRegression",
+    "KMeans",
+    "normalized_mutual_information",
+    "accuracy",
+    "confusion_matrix",
+    "f1_scores",
+    "roc_auc_score",
+    "silhouette_score",
+    "pca",
+    "train_test_split",
+    "TSNE",
+]

@@ -1,0 +1,134 @@
+"""K-means (k-means++ init) and normalized mutual information.
+
+Used by the node-*clustering* extension task (:mod:`repro.eval.clustering`)
+— not part of the paper's evaluation, but the standard third task in the
+network-embedding literature and a natural consumer of the same
+embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Args:
+        num_clusters: k.
+        num_init: restarts; the best inertia wins.
+        max_iter: Lloyd iterations per restart.
+        tol: center-movement convergence threshold.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        num_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+        self.num_init = num_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def _plusplus_init(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = x.shape[0]
+        centers = [x[int(rng.integers(n))]]
+        for _ in range(1, self.num_clusters):
+            d2 = np.min(
+                [((x - c) ** 2).sum(axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(x[int(rng.integers(n))])
+                continue
+            probs = d2 / total
+            centers.append(x[int(rng.choice(n, p=probs))])
+        return np.array(centers)
+
+    def _lloyd(
+        self, x: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            d2 = (
+                (x[:, None, :] - centers[None, :, :]) ** 2
+            ).sum(axis=2)
+            assignment = d2.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.num_clusters):
+                members = x[assignment == k]
+                if members.size:
+                    new_centers[k] = members.mean(axis=0)
+            shift = np.linalg.norm(new_centers - centers)
+            centers = new_centers
+            if shift < self.tol:
+                break
+        d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assignment = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(x.shape[0]), assignment].sum())
+        return assignment, centers, inertia
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Cluster ``x`` (n, d); returns integer labels (n,)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if x.shape[0] < self.num_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        best: tuple[float, np.ndarray, np.ndarray] | None = None
+        for _ in range(self.num_init):
+            centers = self._plusplus_init(x, rng)
+            assignment, centers, inertia = self._lloyd(x, centers)
+            if best is None or inertia < best[0]:
+                best = (inertia, assignment, centers)
+        assert best is not None
+        self.inertia_, assignment, self.centers_ = best
+        return assignment
+
+
+def normalized_mutual_information(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalization (sklearn's default)."""
+    labels_true = np.asarray(labels_true)
+    labels_pred = np.asarray(labels_pred)
+    if labels_true.shape != labels_pred.shape or labels_true.ndim != 1:
+        raise ValueError("label arrays must be matching 1-D arrays")
+    n = labels_true.size
+    if n == 0:
+        raise ValueError("empty label arrays")
+    classes_true = np.unique(labels_true)
+    classes_pred = np.unique(labels_pred)
+    contingency = np.zeros((classes_true.size, classes_pred.size))
+    index_true = {c: i for i, c in enumerate(classes_true)}
+    index_pred = {c: i for i, c in enumerate(classes_pred)}
+    for t, p in zip(labels_true, labels_pred):
+        contingency[index_true[t], index_pred[p]] += 1
+    joint = contingency / n
+    p_true = joint.sum(axis=1)
+    p_pred = joint.sum(axis=0)
+    mutual = 0.0
+    for i in range(classes_true.size):
+        for j in range(classes_pred.size):
+            if joint[i, j] > 0:
+                mutual += joint[i, j] * np.log(
+                    joint[i, j] / (p_true[i] * p_pred[j])
+                )
+    h_true = -np.sum(p_true[p_true > 0] * np.log(p_true[p_true > 0]))
+    h_pred = -np.sum(p_pred[p_pred > 0] * np.log(p_pred[p_pred > 0]))
+    denom = 0.5 * (h_true + h_pred)
+    if denom <= 0:
+        return 1.0 if classes_true.size == classes_pred.size == 1 else 0.0
+    return float(mutual / denom)

@@ -1,0 +1,126 @@
+"""Classification and ranking metrics used by the evaluation pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (labels, matrix) where matrix[i, j] counts true i / pred j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float((y_true == y_pred).mean())
+
+
+@dataclass(frozen=True)
+class F1Scores:
+    """Micro- and macro-averaged F1 (the Table III/V metrics)."""
+
+    micro: float
+    macro: float
+
+
+def f1_scores(y_true: np.ndarray, y_pred: np.ndarray) -> F1Scores:
+    """Micro/macro F1 over all classes present in ``y_true`` or ``y_pred``.
+
+    Macro-F1 averages per-class F1 with classes that never occur (no true
+    and no predicted samples) contributing 0 — matching sklearn's default
+    with zero_division=0.
+    """
+    labels, matrix = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+
+    per_class = np.zeros(labels.size)
+    denom = 2 * tp + fp + fn
+    nonzero = denom > 0
+    per_class[nonzero] = 2 * tp[nonzero] / denom[nonzero]
+    macro = float(per_class.mean())
+
+    total_tp, total_fp, total_fn = tp.sum(), fp.sum(), fn.sum()
+    micro_denom = 2 * total_tp + total_fp + total_fn
+    micro = float(2 * total_tp / micro_denom) if micro_denom > 0 else 0.0
+    return F1Scores(micro=micro, macro=macro)
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Binary ROC-AUC via the Mann-Whitney U statistic (ties averaged)."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise ValueError("y_true and scores must be matching 1-D arrays")
+    positives = y_true == 1
+    n_pos = int(positives.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires both positive and negative samples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # average ranks over tied groups
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[positives].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (euclidean) over all samples.
+
+    Used as the quantitative stand-in for Figure 6's visual judgement of
+    cluster separation: higher silhouette = more separated categories.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.ndim != 2 or labels.shape != (x.shape[0],):
+        raise ValueError("x must be (n, d) and labels (n,)")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette needs at least two clusters")
+    # pairwise distances
+    sq = (x**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    dist = np.sqrt(np.maximum(d2, 0.0))
+
+    n = x.shape[0]
+    scores = np.zeros(n)
+    masks = {label: labels == label for label in unique}
+    for i in range(n):
+        own = masks[labels[i]]
+        own_count = own.sum()
+        if own_count <= 1:
+            scores[i] = 0.0
+            continue
+        a = dist[i, own].sum() / (own_count - 1)
+        b = np.inf
+        for label in unique:
+            if label == labels[i]:
+                continue
+            other = masks[label]
+            b = min(b, dist[i, other].mean())
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

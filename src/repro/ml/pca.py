@@ -1,0 +1,28 @@
+"""Principal component analysis via SVD (t-SNE initialization + fallback)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pca(x: np.ndarray, num_components: int = 2) -> np.ndarray:
+    """Project ``x`` (n, d) onto its top principal components.
+
+    Components are sign-normalized (largest-magnitude loading positive)
+    so the projection is deterministic.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("x must be 2-D")
+    if not 1 <= num_components <= min(x.shape):
+        raise ValueError(
+            f"num_components must be in [1, {min(x.shape)}], got {num_components}"
+        )
+    centered = x - x.mean(axis=0, keepdims=True)
+    u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:num_components]
+    for row in components:
+        pivot = np.argmax(np.abs(row))
+        if row[pivot] < 0:
+            row *= -1.0
+    return centered @ components.T

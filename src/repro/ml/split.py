@@ -1,0 +1,49 @@
+"""Seeded train/test splitting with optional stratification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(
+    n: int,
+    train_fraction: float,
+    rng: np.random.Generator,
+    stratify: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_indices, test_indices) over ``range(n)``.
+
+    Args:
+        n: number of samples.
+        train_fraction: fraction assigned to the training set (the paper
+            uses 0.9).
+        rng: the random source — splits are reproducible given a seed.
+        stratify: optional label array (n,); when given, each class is
+            split independently so class proportions are preserved, with
+            at least one training sample per class.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    if stratify is None:
+        order = rng.permutation(n)
+        cut = max(1, min(n - 1, int(round(train_fraction * n))))
+        return np.sort(order[:cut]), np.sort(order[cut:])
+
+    stratify = np.asarray(stratify)
+    if stratify.shape != (n,):
+        raise ValueError("stratify must have shape (n,)")
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for label in np.unique(stratify):
+        indices = np.flatnonzero(stratify == label)
+        order = rng.permutation(indices.size)
+        cut = max(1, int(round(train_fraction * indices.size)))
+        cut = min(cut, indices.size)  # classes of size 1 go fully to train
+        train_parts.append(indices[order[:cut]])
+        test_parts.append(indices[order[cut:]])
+    return (
+        np.sort(np.concatenate(train_parts)),
+        np.sort(np.concatenate(test_parts)) if test_parts else np.empty(0, dtype=np.int64),
+    )

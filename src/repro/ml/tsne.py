@@ -1,0 +1,136 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) for the Figure 6 case study.
+
+The case study projects only ~90 applet embeddings, so the exact O(n^2)
+formulation with gradient descent, momentum, and early exaggeration is
+entirely adequate (and easy to test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.pca import pca
+
+_EPS = 1e-12
+
+
+def _pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    sq = (x**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_sigma(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 64
+) -> np.ndarray:
+    """Per-point conditional distributions P_{j|i} with target perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            expd = np.exp(-row * beta)
+            expd[i] = 0.0
+            total = expd.sum()
+            if total <= 0:
+                beta *= 0.5
+                continue
+            probs = expd / total
+            entropy = -np.sum(probs * np.log(probs + _EPS))
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_lo = beta
+                beta = beta * 2.0 if beta_hi == np.inf else 0.5 * (beta + beta_hi)
+            else:
+                beta_hi = beta
+                beta = beta * 0.5 if beta_lo == 0.0 else 0.5 * (beta + beta_lo)
+        p[i] = probs
+    return p
+
+
+class TSNE:
+    """2-D (by default) t-SNE embedding.
+
+    Args:
+        num_components: output dimensionality.
+        perplexity: effective neighbourhood size; must satisfy
+            ``3 * perplexity < n - 1``.
+        learning_rate: gradient-descent step size.
+        num_iter: total optimization iterations.
+        seed: RNG seed for the (PCA-initialized, jittered) start.
+    """
+
+    def __init__(
+        self,
+        num_components: int = 2,
+        perplexity: float = 15.0,
+        learning_rate: float = 100.0,
+        num_iter: int = 400,
+        seed: int = 0,
+    ) -> None:
+        if perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        self.num_components = num_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.num_iter = num_iter
+        self.seed = seed
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed ``x`` (n, d) into ``num_components`` dimensions."""
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if n < 5:
+            raise ValueError("t-SNE needs at least 5 points")
+        if 3 * self.perplexity >= n - 1:
+            raise ValueError(
+                f"perplexity {self.perplexity} too large for {n} points"
+            )
+        rng = np.random.default_rng(self.seed)
+
+        conditional = _binary_search_sigma(_pairwise_sq_distances(x), self.perplexity)
+        p = (conditional + conditional.T) / (2.0 * n)
+        p = np.maximum(p, _EPS)
+
+        k = min(self.num_components, min(x.shape))
+        y = pca(x, num_components=k)
+        if k < self.num_components:
+            pad = np.zeros((n, self.num_components - k))
+            y = np.hstack([y, pad])
+        y = y / (y.std(axis=0, keepdims=True) + _EPS) * 1e-2
+        y += rng.normal(0.0, 1e-4, size=y.shape)
+
+        velocity = np.zeros_like(y)
+        exaggeration_until = min(100, self.num_iter // 4)
+        for iteration in range(self.num_iter):
+            p_eff = p * 4.0 if iteration < exaggeration_until else p
+            d2 = _pairwise_sq_distances(y)
+            q_num = 1.0 / (1.0 + d2)
+            np.fill_diagonal(q_num, 0.0)
+            q = np.maximum(q_num / q_num.sum(), _EPS)
+            pq = (p_eff - q) * q_num  # (n, n)
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+            momentum = 0.5 if iteration < exaggeration_until else 0.8
+            velocity = momentum * velocity - self.learning_rate * grad
+            y = y + velocity
+            y -= y.mean(axis=0, keepdims=True)
+        return y
+
+    def kl_divergence(self, x: np.ndarray, y: np.ndarray) -> float:
+        """KL(P || Q) of an embedding ``y`` of ``x`` (quality diagnostic)."""
+        n = x.shape[0]
+        conditional = _binary_search_sigma(_pairwise_sq_distances(np.asarray(x, float)), self.perplexity)
+        p = np.maximum((conditional + conditional.T) / (2.0 * n), _EPS)
+        d2 = _pairwise_sq_distances(np.asarray(y, float))
+        q_num = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), _EPS)
+        mask = ~np.eye(n, dtype=bool)
+        return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))

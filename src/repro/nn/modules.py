@@ -1,0 +1,188 @@
+"""Layers used by the TransN translators and the neural baselines."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd import Tensor, softmax
+
+
+class Module:
+    """Minimal module base class: parameter discovery + train/eval modes.
+
+    Subclasses assign :class:`Tensor` attributes (parameters) and/or
+    :class:`Module` attributes (children); :meth:`parameters` walks both
+    recursively.
+    """
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable tensors of this module and its children."""
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                for param in value.parameters():
+                    if id(param) not in seen:
+                        seen.add(id(param))
+                        yield param
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for param in item.parameters():
+                            if id(param) not in seen:
+                                seen.add(id(param))
+                                yield param
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Conventional dense layer ``y = x W + b`` on the feature dimension."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        scale = math.sqrt(2.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros((1, out_features)), requires_grad=True)
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class SelfAttentionLayer(Module):
+    """Equation (8): ``S(A) = softmax_rows(A A^T / sqrt(d)) A``.
+
+    The paper's attention is parameter-free (no query/key/value
+    projections): attention scores come directly from inner products of the
+    path's embedding rows, scaled by ``1/sqrt(d)`` as in Vaswani et al.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.dim = dim
+
+    def forward(self, a: Tensor) -> Tensor:
+        if a.shape[-1] != self.dim:
+            raise ValueError(
+                f"expected last dimension {self.dim}, got {a.shape[-1]}"
+            )
+        scores = (a @ a.T) * (1.0 / math.sqrt(self.dim))
+        attention = softmax(scores, axis=-1)
+        return attention @ a
+
+
+class FeedForwardLayer(Module):
+    """Equation (9): ``F(A) = relu(W A + b)``.
+
+    Faithful to the paper, ``W`` has shape (path_len, path_len) and ``b``
+    shape (path_len, 1): the layer mixes information *across path
+    positions*, not across embedding dimensions.  This ties the translator
+    to a fixed walk length, which is why TransN samples fixed-length walks.
+
+    ``W`` is initialized near the identity so that an untrained translator
+    is close to the identity map — training then only has to learn the
+    *deviation* between views, which keeps early reconstruction losses
+    small and optimization stable.
+    """
+
+    def __init__(
+        self,
+        path_len: int,
+        rng: np.random.Generator | None = None,
+        identity_init: bool = True,
+        activation: str = "relu",
+    ) -> None:
+        if path_len <= 0:
+            raise ValueError("path length must be positive")
+        if activation not in ("relu", "linear"):
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = rng or np.random.default_rng()
+        noise = rng.normal(0.0, 0.01, size=(path_len, path_len))
+        base = np.eye(path_len) if identity_init else np.zeros((path_len, path_len))
+        self.path_len = path_len
+        self.activation = activation
+        self.weight = Tensor(base + noise, requires_grad=True)
+        self.bias = Tensor(np.zeros((path_len, 1)), requires_grad=True)
+
+    def forward(self, a: Tensor) -> Tensor:
+        if a.shape[0] != self.path_len:
+            raise ValueError(
+                f"expected {self.path_len} path positions, got {a.shape[0]}"
+            )
+        out = self.weight @ a + self.bias
+        if self.activation == "relu":
+            out = out.relu()
+        return out
+
+
+class Encoder(Module):
+    """One encoder block: self-attention followed by feed-forward.
+
+    A translator (Equation 10) is a stack of these; see
+    :class:`repro.core.translator.Translator`.
+    """
+
+    def __init__(
+        self,
+        path_len: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        activation: str = "relu",
+    ) -> None:
+        self.attention = SelfAttentionLayer(dim)
+        self.feed_forward = FeedForwardLayer(path_len, rng=rng, activation=activation)
+
+    def forward(self, a: Tensor) -> Tensor:
+        return self.feed_forward(self.attention(a))
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,26 @@
+"""Skip-gram with negative sampling.
+
+Equation (3) of the paper is the skip-gram objective of word2vec applied to
+nodes on sampled walks.  We optimize it with negative sampling (Mikolov et
+al. 2013) rather than hierarchical softmax — an equivalent-quality
+estimator of the same conditional probabilities (the substitution is
+recorded in DESIGN.md).
+
+- :func:`~repro.skipgram.context.extract_pairs` implements Definition 6:
+  context windows of size 1 on homo-views and 2 on heter-views.
+- :class:`~repro.skipgram.negative.NoiseDistribution` is the standard
+  unigram^0.75 noise table.
+- :class:`~repro.skipgram.trainer.SkipGramTrainer` performs vectorized
+  SGD updates on an (input, output) embedding pair.
+"""
+
+from repro.skipgram.context import extract_pairs, window_for_view
+from repro.skipgram.negative import NoiseDistribution
+from repro.skipgram.trainer import SkipGramTrainer
+
+__all__ = [
+    "extract_pairs",
+    "window_for_view",
+    "NoiseDistribution",
+    "SkipGramTrainer",
+]

@@ -1,0 +1,47 @@
+"""Context-node extraction on sampled paths (Definition 6).
+
+On a path ``n_1 .. n_r``:
+
+- from a *homo-view*, the context of ``n_k`` is ``{n_{k-1}, n_{k+1}}``
+  (window 1);
+- from a *heter-view*, it is ``{n_{k-2}, n_{k-1}, n_{k+1}, n_{k+2}}``
+  (window 2) — the two-hop neighbours are the *indirect* neighbours that
+  share a common end-node with ``n_k`` (e.g. two readers of the same book).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.heterograph import NodeId
+from repro.graph.views import View
+
+HOMO_WINDOW = 1
+HETER_WINDOW = 2
+
+
+def window_for_view(view: View) -> int:
+    """The Definition-6 window size of ``view`` (1 homo / 2 heter)."""
+    return HETER_WINDOW if view.is_heter else HOMO_WINDOW
+
+
+def extract_pairs(
+    walk: Sequence[NodeId], window: int
+) -> list[tuple[NodeId, NodeId]]:
+    """All (center, context) pairs of ``walk`` under the given window.
+
+    Example:
+        >>> extract_pairs(["a", "b", "c"], window=1)
+        [('a', 'b'), ('b', 'a'), ('b', 'c'), ('c', 'b')]
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    pairs: list[tuple[NodeId, NodeId]] = []
+    r = len(walk)
+    for k in range(r):
+        low = max(0, k - window)
+        high = min(r, k + window + 1)
+        for j in range(low, high):
+            if j != k:
+                pairs.append((walk[k], walk[j]))
+    return pairs

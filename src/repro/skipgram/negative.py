@@ -1,0 +1,50 @@
+"""Unigram^0.75 noise distribution for negative sampling."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.graph.alias import AliasSampler
+
+
+class NoiseDistribution:
+    """Sample negative node *indices* with probability ∝ count^power.
+
+    ``counts`` maps dense node indices (0..n-1) to corpus frequencies;
+    indices absent from ``counts`` get zero probability.
+    """
+
+    def __init__(
+        self,
+        counts: Mapping[int, int] | np.ndarray,
+        num_nodes: int,
+        power: float = 0.75,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        weights = np.zeros(num_nodes, dtype=np.float64)
+        if isinstance(counts, np.ndarray):
+            if counts.shape != (num_nodes,):
+                raise ValueError(
+                    f"count array shape {counts.shape} != ({num_nodes},)"
+                )
+            weights[:] = counts
+        else:
+            for index, count in counts.items():
+                if not 0 <= index < num_nodes:
+                    raise ValueError(f"node index {index} out of range")
+                weights[index] = count
+        if weights.sum() <= 0:
+            raise ValueError("noise distribution needs at least one count")
+        self._sampler = AliasSampler(np.power(weights, power))
+        self.num_nodes = num_nodes
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` negative node indices."""
+        return np.asarray(self._sampler.sample(rng, size=size), dtype=np.int64)
+
+    def probabilities(self) -> np.ndarray:
+        """The exact noise probabilities (for testing)."""
+        return self._sampler.probabilities()

@@ -1,0 +1,137 @@
+"""Vectorized skip-gram-with-negative-sampling trainer.
+
+Owns (or borrows) an input embedding matrix ``W_in`` (the view-specific
+node embeddings of Equation 3) and an auxiliary output matrix ``W_out``
+(context embeddings).  Gradients are the closed-form SGNS gradients, so no
+autograd tape is involved — this is the hot loop of the whole framework.
+
+For a batch of (center c, context o) pairs with negatives ``k_1..k_m``:
+
+    L = -log sigma(w_o . w_c) - sum_j log sigma(-w_{k_j} . w_c)
+
+A node that occurs several times within a batch receives the *mean* of its
+per-occurrence gradients, not the sum.  On small graphs a node can appear
+dozens of times per batch; summing would multiply the effective learning
+rate by that count and demonstrably diverges, while the mean matches the
+sequential word2vec update in expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _apply_mean_update(
+    matrix: np.ndarray, rows: np.ndarray, grads: np.ndarray, lr: float
+) -> None:
+    """``matrix[row] -= lr * mean(grads of that row)`` for each unique row."""
+    unique, inverse, counts = np.unique(
+        rows, return_inverse=True, return_counts=True
+    )
+    aggregated = np.zeros((unique.size, matrix.shape[1]))
+    np.add.at(aggregated, inverse, grads)
+    aggregated /= counts[:, None]
+    matrix[unique] -= lr * aggregated
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    ex = np.exp(x[~positive])
+    out[~positive] = ex / (1.0 + ex)
+    return out
+
+
+class SkipGramTrainer:
+    """SGNS over a pair of embedding matrices.
+
+    Args:
+        embeddings: input embedding matrix of shape (num_nodes, dim);
+            updated *in place* so callers can share it (TransN's
+            view-specific embeddings are also touched by the cross-view
+            algorithm).
+        rng: generator used for initialization of the output matrix.
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if embeddings.ndim != 2:
+            raise ValueError("embeddings must be 2-D (num_nodes, dim)")
+        self.embeddings = embeddings
+        self.num_nodes, self.dim = embeddings.shape
+        # word2vec initializes the output (context) matrix to zeros
+        self.context = np.zeros_like(embeddings)
+
+    def train_batch(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+        lr: float,
+    ) -> float:
+        """One SGD step on a batch of pairs; returns the mean batch loss.
+
+        Args:
+            centers: int array (B,) of center-node indices.
+            contexts: int array (B,) of positive context indices.
+            negatives: int array (B, m) of negative indices.
+            lr: SGD learning rate.
+        """
+        centers = np.asarray(centers, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        if centers.shape != contexts.shape or centers.ndim != 1:
+            raise ValueError("centers and contexts must be matching 1-D arrays")
+        if negatives.ndim != 2 or negatives.shape[0] != centers.shape[0]:
+            raise ValueError("negatives must be (batch, num_negatives)")
+
+        w_c = self.embeddings[centers]  # (B, d)
+        w_o = self.context[contexts]  # (B, d)
+        w_n = self.context[negatives]  # (B, m, d)
+
+        pos_score = np.einsum("bd,bd->b", w_c, w_o)
+        neg_score = np.einsum("bd,bmd->bm", w_c, w_n)
+
+        pos_sig = _sigmoid(pos_score)
+        neg_sig = _sigmoid(neg_score)
+
+        # dL/d(pos_score) = pos_sig - 1 ; dL/d(neg_score) = neg_sig
+        g_pos = pos_sig - 1.0  # (B,)
+        g_neg = neg_sig  # (B, m)
+
+        grad_center = g_pos[:, None] * w_o + np.einsum("bm,bmd->bd", g_neg, w_n)
+        grad_context = g_pos[:, None] * w_c
+        grad_negatives = g_neg[..., None] * w_c[:, None, :]
+
+        _apply_mean_update(self.embeddings, centers, grad_center, lr)
+        # positive-context and negative rows both live in self.context;
+        # aggregate them together so a node playing both roles moves once
+        out_rows = np.concatenate([contexts, negatives.reshape(-1)])
+        out_grads = np.concatenate(
+            [grad_context, grad_negatives.reshape(-1, self.dim)]
+        )
+        _apply_mean_update(self.context, out_rows, out_grads, lr)
+
+        eps = 1e-12
+        loss = -np.log(pos_sig + eps) - np.log(1.0 - neg_sig + eps).sum(axis=1)
+        return float(loss.mean())
+
+    def loss_batch(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> float:
+        """The mean batch loss without updating any parameters."""
+        w_c = self.embeddings[np.asarray(centers, dtype=np.int64)]
+        w_o = self.context[np.asarray(contexts, dtype=np.int64)]
+        w_n = self.context[np.asarray(negatives, dtype=np.int64)]
+        pos = _sigmoid(np.einsum("bd,bd->b", w_c, w_o))
+        neg = _sigmoid(np.einsum("bd,bmd->bm", w_c, w_n))
+        eps = 1e-12
+        loss = -np.log(pos + eps) - np.log(1.0 - neg + eps).sum(axis=1)
+        return float(loss.mean())

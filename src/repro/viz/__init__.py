@@ -1,0 +1,9 @@
+"""Dependency-free visualization helpers.
+
+matplotlib is not available offline, so :mod:`repro.viz.scatter` renders
+labelled 2-D scatter plots (the Figure 6 artifact) directly to SVG.
+"""
+
+from repro.viz.scatter import render_scatter_svg, save_scatter_svg
+
+__all__ = ["render_scatter_svg", "save_scatter_svg"]

@@ -1,0 +1,114 @@
+"""Labelled 2-D scatter plots rendered straight to SVG.
+
+Used to draw the Figure 6 case-study projections without any plotting
+dependency: categories get distinct colours from a fixed palette, a
+legend is laid out down the right edge, and points carry ``<title>``
+elements so hovering in a browser reveals the node ID.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+# colour-blind-friendly palette (Okabe-Ito), cycled when categories exceed it
+_PALETTE = [
+    "#E69F00", "#56B4E9", "#009E73", "#F0E442",
+    "#0072B2", "#D55E00", "#CC79A7", "#000000", "#999999",
+]
+
+
+def _color_for(index: int) -> str:
+    return _PALETTE[index % len(_PALETTE)]
+
+
+def render_scatter_svg(
+    points: np.ndarray,
+    labels: Sequence[object],
+    names: Sequence[object] | None = None,
+    title: str = "",
+    width: int = 640,
+    height: int = 480,
+    point_radius: float = 4.0,
+) -> str:
+    """Render ``points`` (n, 2) coloured by ``labels`` as an SVG string.
+
+    Args:
+        points: 2-D coordinates, one row per point.
+        labels: category label per point (drives colour + legend).
+        names: optional per-point hover titles (e.g. node IDs).
+        title: figure caption drawn at the top.
+        width, height: canvas size in pixels.
+        point_radius: marker radius.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (n, 2) array")
+    if len(labels) != points.shape[0]:
+        raise ValueError("labels must match points")
+    if names is not None and len(names) != points.shape[0]:
+        raise ValueError("names must match points")
+
+    categories = sorted({str(l) for l in labels})
+    color = {cat: _color_for(i) for i, cat in enumerate(categories)}
+
+    margin = 40
+    legend_width = 120
+    plot_w = width - 2 * margin - legend_width
+    plot_h = height - 2 * margin
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+
+    def to_px(p: np.ndarray) -> tuple[float, float]:
+        x = margin + (p[0] - lo[0]) / span[0] * plot_w
+        y = margin + (1.0 - (p[1] - lo[1]) / span[1]) * plot_h
+        return x, y
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="15">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#ccc"/>'
+    )
+    for k, point in enumerate(points):
+        x, y = to_px(point)
+        cat = str(labels[k])
+        hover = (
+            f"<title>{escape(str(names[k]))} ({escape(cat)})</title>"
+            if names is not None
+            else ""
+        )
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{point_radius}" '
+            f'fill="{color[cat]}" fill-opacity="0.85">{hover}</circle>'
+        )
+    legend_x = width - legend_width - margin / 2
+    for i, cat in enumerate(categories):
+        y = margin + 12 + i * 20
+        parts.append(
+            f'<circle cx="{legend_x:.0f}" cy="{y}" r="5" '
+            f'fill="{color[cat]}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 12:.0f}" y="{y + 4}" '
+            f'font-family="sans-serif" font-size="12">{escape(cat)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_scatter_svg(path: str | Path, *args, **kwargs) -> None:
+    """Render (see :func:`render_scatter_svg`) and write to ``path``."""
+    Path(path).write_text(render_scatter_svg(*args, **kwargs))

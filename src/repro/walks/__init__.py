@@ -1,0 +1,29 @@
+"""Random-walk engines.
+
+The single-view algorithm of TransN (Section III-A) samples *biased
+correlated* random walks: step probabilities are proportional to edge
+weights (Equation 6), and on heter-views additionally favour edges whose
+weight is close to the previous step's weight (Equation 7, correlated
+walks).  Baselines need their own walkers: uniform walks (DeepWalk and the
+simple-walk ablation), second-order p/q walks (Node2Vec), and
+metapath-constrained walks (Metapath2Vec).
+
+All walkers operate on one :class:`~repro.graph.views.View` (or a plain
+:class:`~repro.graph.heterograph.HeteroGraph`) and return lists of node IDs.
+"""
+
+from repro.walks.corpus import WalkCorpus, build_corpus
+from repro.walks.metapath import MetapathWalker
+from repro.walks.node2vec import Node2VecWalker
+from repro.walks.policy import walks_per_node
+from repro.walks.walker import BiasedCorrelatedWalker, UniformWalker
+
+__all__ = [
+    "BiasedCorrelatedWalker",
+    "UniformWalker",
+    "Node2VecWalker",
+    "MetapathWalker",
+    "WalkCorpus",
+    "build_corpus",
+    "walks_per_node",
+]

@@ -1,0 +1,123 @@
+"""Walk-corpus construction shared by TransN and the walk-based baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.graph.views import View
+from repro.walks.policy import walks_per_node
+
+
+class Walker(Protocol):
+    """Anything with a ``walk(start, length) -> list[NodeId]`` method."""
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]: ...
+
+
+@dataclass
+class WalkCorpus:
+    """A bag of sampled paths over one graph/view.
+
+    Attributes:
+        walks: the sampled paths (node-ID lists).
+        length: the requested walk length (paths may be shorter if a walk
+            got stuck on an isolated node).
+    """
+
+    walks: list[list[NodeId]]
+    length: int
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+    def __iter__(self):
+        return iter(self.walks)
+
+    def node_frequencies(self) -> dict[NodeId, int]:
+        """Occurrence counts over all paths — the skip-gram noise counts."""
+        counts: dict[NodeId, int] = {}
+        for walk in self.walks:
+            for node in walk:
+                counts[node] = counts.get(node, 0) + 1
+        return counts
+
+
+def build_corpus(
+    view_or_graph: View | HeteroGraph,
+    walker: Walker,
+    length: int,
+    floor: int = 10,
+    cap: int = 32,
+    walks_per_node_override: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> WalkCorpus:
+    """Sample walks from every node under the degree-based count policy.
+
+    Args:
+        view_or_graph: where to walk.
+        walker: a walker already bound to the same view/graph.
+        length: nodes per walk.
+        floor, cap: the walk-count policy bounds (paper: 10 and 32).
+        walks_per_node_override: fixed count per node; used by baselines
+            such as DeepWalk that ignore degree.
+        rng: used only to shuffle the corpus so SGD sees mixed nodes.
+    """
+    if length < 2:
+        raise ValueError(f"walk length must be >= 2, got {length}")
+    graph = view_or_graph.graph if isinstance(view_or_graph, View) else view_or_graph
+    rng = rng or np.random.default_rng()
+    walks: list[list[NodeId]] = []
+    for node in graph.nodes:
+        if graph.degree(node) == 0:
+            continue
+        count = (
+            walks_per_node_override
+            if walks_per_node_override is not None
+            else walks_per_node(graph, node, floor=floor, cap=cap)
+        )
+        for _ in range(count):
+            walks.append(walker.walk(node, length))
+    order = rng.permutation(len(walks))
+    return WalkCorpus(walks=[walks[i] for i in order], length=length)
+
+
+def filter_to_nodes(
+    corpus: WalkCorpus,
+    keep: set[NodeId] | frozenset[NodeId],
+    min_length: int = 2,
+) -> WalkCorpus:
+    """Drop every node not in ``keep`` from every path.
+
+    This is the cross-view preprocessing step: walks over paired-subviews
+    are filtered down to the common nodes of the view-pair.  Paths that end
+    up shorter than ``min_length`` are discarded.
+    """
+    filtered = []
+    for walk in corpus.walks:
+        reduced = [node for node in walk if node in keep]
+        if len(reduced) >= min_length:
+            filtered.append(reduced)
+    return WalkCorpus(walks=filtered, length=corpus.length)
+
+
+def chunk_paths(
+    corpus: WalkCorpus, chunk_length: int
+) -> list[Sequence[NodeId]]:
+    """Cut each path into non-overlapping chunks of exactly ``chunk_length``.
+
+    The translators' feed-forward layers have a (path_len x path_len)
+    weight (Equation 9) and therefore need fixed-length inputs; filtered
+    cross-view paths have variable length, so we re-chunk them.  Remainders
+    shorter than ``chunk_length`` are dropped.
+    """
+    if chunk_length < 2:
+        raise ValueError(f"chunk length must be >= 2, got {chunk_length}")
+    chunks: list[Sequence[NodeId]] = []
+    for walk in corpus.walks:
+        for offset in range(0, len(walk) - chunk_length + 1, chunk_length):
+            chunks.append(walk[offset : offset + chunk_length])
+    return chunks

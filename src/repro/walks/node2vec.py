@@ -1,0 +1,80 @@
+"""Second-order p/q walks (Grover & Leskovec 2016) for the Node2Vec baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+class Node2VecWalker:
+    """Biased second-order walks controlled by return (p) and in-out (q).
+
+    Transition weight from edge (t, v) to candidate x:
+      * ``w / p`` if x == t (return),
+      * ``w``     if x is adjacent to t (distance 1),
+      * ``w / q`` otherwise (explore).
+    """
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if p <= 0 or q <= 0:
+            raise ValueError(f"p and q must be positive, got p={p}, q={q}")
+        self.graph = graph
+        self.p = p
+        self.q = q
+        self.rng = rng or np.random.default_rng()
+        self._neighbor_sets: dict[NodeId, set[NodeId]] = {
+            node: set(graph.neighbors(node)) for node in graph.nodes
+        }
+        self._incident = {node: graph.incident(node) for node in graph.nodes}
+        self._first_cumsum = {
+            node: np.cumsum([w for _, w, _ in inc]) if inc else np.empty(0)
+            for node, inc in self._incident.items()
+        }
+
+    def _first_step(self, start: NodeId) -> NodeId | None:
+        incident = self._incident[start]
+        if not incident:
+            return None
+        cumsum = self._first_cumsum[start]
+        pick = self.rng.random() * cumsum[-1]
+        j = min(int(np.searchsorted(cumsum, pick, side="right")), len(incident) - 1)
+        return incident[j][0]
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]:
+        """One p/q-biased walk of up to ``length`` nodes."""
+        path = [start]
+        if length == 1:
+            return path
+        second = self._first_step(start)
+        if second is None:
+            return path
+        path.append(second)
+        while len(path) < length:
+            prev, current = path[-2], path[-1]
+            incident = self._incident[current]
+            if not incident:
+                break
+            prev_neighbors = self._neighbor_sets[prev]
+            weights = np.empty(len(incident))
+            for j, (candidate, w, _) in enumerate(incident):
+                if candidate == prev:
+                    weights[j] = w / self.p
+                elif candidate in prev_neighbors:
+                    weights[j] = w
+                else:
+                    weights[j] = w / self.q
+            cumsum = np.cumsum(weights)
+            pick = self.rng.random() * cumsum[-1]
+            j = min(
+                int(np.searchsorted(cumsum, pick, side="right")),
+                len(incident) - 1,
+            )
+            path.append(incident[j][0])
+        return path

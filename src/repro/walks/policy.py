@@ -1,0 +1,31 @@
+"""Walk-count policy (Section IV-A3 of the paper).
+
+TransN starts ``max(min(degree, cap), floor)`` walks from each node — the
+paper uses ``max(min(tau_n, 32), 10)``.  High-degree hubs therefore
+contribute more walks (the paper's "biased with respect to node degrees"),
+but every node, however peripheral, still gets a minimum number of starts
+so its embedding is trained.
+"""
+
+from __future__ import annotations
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+def walks_per_node(
+    graph: HeteroGraph,
+    node: NodeId,
+    floor: int = 10,
+    cap: int = 32,
+) -> int:
+    """Number of walks to start at ``node``: ``max(min(degree, cap), floor)``.
+
+    Args:
+        floor: minimum walks per node (paper: 10).
+        cap: maximum walks per node (paper: 32).
+    """
+    if floor < 1:
+        raise ValueError(f"floor must be >= 1, got {floor}")
+    if cap < floor:
+        raise ValueError(f"cap ({cap}) must be >= floor ({floor})")
+    return max(min(graph.degree(node), cap), floor)

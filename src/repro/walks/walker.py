@@ -1,0 +1,202 @@
+"""First-order walkers: uniform and biased-correlated (Equations 4-7).
+
+Given the first k steps of a walk ``n_1 .. n_k``, the probability of
+stepping to ``n_{k+1}`` is (Equation 4):
+
+- ``pi_1`` alone — proportional to the edge weight (Equation 6) — on
+  homo-views, on the first step, or when all of ``n_k``'s incident weights
+  are equal (Delta = 0);
+- ``pi_1 * pi_2`` otherwise, where ``pi_2`` (Equation 7) is highest for the
+  candidate edge whose weight is closest to the previous edge's weight and
+  is bounded by ``1 - (w_next - w_prev) / Delta`` with ``Delta`` the spread
+  of weights incident to ``n_k``.
+
+``pi_2`` can reach exactly zero for the single worst candidate; we floor it
+at a small epsilon so that the distribution stays well-defined when that
+candidate is the only neighbour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.graph.views import View
+
+_PI2_FLOOR = 1e-9
+
+
+class _AdjacencyArrays:
+    """Per-node neighbour/weight arrays in dense-index space.
+
+    Both walkers share this cache: for node index ``i``,
+    ``neighbors[i]`` is an int array of neighbour indices and
+    ``weights[i]`` the matching weight array.
+    """
+
+    def __init__(self, graph: HeteroGraph) -> None:
+        self.graph = graph
+        n = graph.num_nodes
+        self.neighbors: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self.weights: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self.weight_cumsum: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self.delta: np.ndarray = np.zeros(n)
+        for node in graph.nodes:
+            i = graph.index_of(node)
+            incident = graph.incident(node)
+            if incident:
+                nbr_idx = np.array(
+                    [graph.index_of(nbr) for nbr, _, _ in incident],
+                    dtype=np.int64,
+                )
+                wts = np.array([w for _, w, _ in incident], dtype=np.float64)
+            else:
+                nbr_idx = np.empty(0, dtype=np.int64)
+                wts = np.empty(0, dtype=np.float64)
+            self.neighbors[i] = nbr_idx
+            self.weights[i] = wts
+            self.weight_cumsum[i] = np.cumsum(wts)
+            self.delta[i] = (wts.max() - wts.min()) if wts.size else 0.0
+
+
+def _resolve_graph(view_or_graph: View | HeteroGraph) -> tuple[HeteroGraph, bool]:
+    """Return (graph, is_heter) for a view or a bare graph.
+
+    A bare graph is treated as homogeneous: correlated steps (Equation 7)
+    only apply to heter-views.
+    """
+    if isinstance(view_or_graph, View):
+        return view_or_graph.graph, view_or_graph.is_heter
+    return view_or_graph, False
+
+
+class UniformWalker:
+    """Simple random walks: uniform over neighbours, weights ignored.
+
+    This is both DeepWalk's walker and the paper's
+    ``TransN-With-Simple-Walk`` ablation.
+    """
+
+    def __init__(
+        self,
+        view_or_graph: View | HeteroGraph,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.graph, _ = _resolve_graph(view_or_graph)
+        self._adj = _AdjacencyArrays(self.graph)
+        self.rng = rng or np.random.default_rng()
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]:
+        """One walk of ``length`` nodes starting at ``start``.
+
+        The walk stops early at a node with no neighbours (cannot happen
+        inside a view, but plain graphs may contain isolated nodes).
+        """
+        graph = self.graph
+        current = graph.index_of(start)
+        path = [current]
+        for _ in range(length - 1):
+            nbrs = self._adj.neighbors[current]
+            if nbrs.size == 0:
+                break
+            current = int(nbrs[int(self.rng.integers(nbrs.size))])
+            path.append(current)
+        return [graph.node_at(i) for i in path]
+
+
+class BiasedCorrelatedWalker:
+    """The paper's walker: weight-biased (Eq. 6), correlated on heter-views (Eq. 7)."""
+
+    def __init__(
+        self,
+        view_or_graph: View | HeteroGraph,
+        rng: np.random.Generator | None = None,
+        correlated: bool | None = None,
+    ) -> None:
+        """Args:
+        view_or_graph: the view to walk on.
+        rng: numpy Generator (a fresh default one when omitted).
+        correlated: force Equation 7 on (True) or off (False); by default
+            it is enabled exactly on heter-views, per the paper.
+        """
+        self.graph, is_heter = _resolve_graph(view_or_graph)
+        self.correlated = is_heter if correlated is None else correlated
+        self._adj = _AdjacencyArrays(self.graph)
+        self.rng = rng or np.random.default_rng()
+
+    def _step_weighted(self, current: int) -> tuple[int, float]:
+        """One pi_1 step; returns (next index, weight of the taken edge)."""
+        cumsum = self._adj.weight_cumsum[current]
+        pick = self.rng.random() * cumsum[-1]
+        j = int(np.searchsorted(cumsum, pick, side="right"))
+        j = min(j, cumsum.size - 1)
+        return int(self._adj.neighbors[current][j]), float(
+            self._adj.weights[current][j]
+        )
+
+    def _step_correlated(
+        self, current: int, previous_weight: float
+    ) -> tuple[int, float]:
+        """One pi_1 * pi_2 step (Equation 4, 'otherwise' branch)."""
+        weights = self._adj.weights[current]
+        delta = self._adj.delta[current]
+        pi1 = weights / weights.sum()
+        pi2 = 1.0 - (weights - previous_weight) / delta
+        probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
+        cumsum = np.cumsum(probs)
+        pick = self.rng.random() * cumsum[-1]
+        j = min(int(np.searchsorted(cumsum, pick, side="right")), probs.size - 1)
+        return int(self._adj.neighbors[current][j]), float(weights[j])
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]:
+        """One biased (and, on heter-views, correlated) walk."""
+        graph = self.graph
+        current = graph.index_of(start)
+        path = [current]
+        previous_weight: float | None = None
+        for _ in range(length - 1):
+            if self._adj.neighbors[current].size == 0:
+                break
+            use_pi2 = (
+                self.correlated
+                and previous_weight is not None
+                and self._adj.delta[current] > 0.0
+            )
+            if use_pi2:
+                nxt, w = self._step_correlated(current, previous_weight)
+            else:
+                nxt, w = self._step_weighted(current)
+            path.append(nxt)
+            current = nxt
+            previous_weight = w
+        return [graph.node_at(i) for i in path]
+
+    def step_distribution(
+        self, current: NodeId, previous_weight: float | None = None
+    ) -> dict[NodeId, float]:
+        """Exact next-step distribution from ``current`` (for tests).
+
+        ``previous_weight`` None means a first step / homo-view step
+        (pure Equation 6).
+        """
+        i = self.graph.index_of(current)
+        weights = self._adj.weights[i]
+        if weights.size == 0:
+            return {}
+        pi1 = weights / weights.sum()
+        use_pi2 = (
+            self.correlated
+            and previous_weight is not None
+            and self._adj.delta[i] > 0.0
+        )
+        if use_pi2:
+            pi2 = 1.0 - (weights - previous_weight) / self._adj.delta[i]
+            probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
+        else:
+            probs = pi1
+        probs = probs / probs.sum()
+        result: dict[NodeId, float] = {}
+        for j, p in zip(self._adj.neighbors[i], probs):
+            node = self.graph.node_at(int(j))
+            result[node] = result.get(node, 0.0) + float(p)
+        return result

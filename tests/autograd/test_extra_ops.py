@@ -1,0 +1,94 @@
+"""Gradcheck tests for the extended Tensor ops (abs/max/min/concat/stack)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+def leaf(shape, rng, away_from_zero=False):
+    data = rng.normal(size=shape)
+    if away_from_zero:
+        data = np.where(np.abs(data) < 0.3, np.sign(data) * 0.5 + data, data)
+    return Tensor(data, requires_grad=True)
+
+
+class TestAbs:
+    def test_value(self):
+        t = Tensor([-2.0, 3.0])
+        assert np.allclose(t.abs().data, [2.0, 3.0])
+
+    def test_gradcheck(self, rng):
+        a = leaf((4,), rng, away_from_zero=True)
+        gradcheck(lambda a: (a.abs() * a).sum(), [a])
+
+
+class TestMaximumMinimum:
+    def test_values(self):
+        a = Tensor([1.0, 5.0])
+        b = Tensor([3.0, 2.0])
+        assert np.allclose(a.maximum(b).data, [3.0, 5.0])
+        assert np.allclose(a.minimum(b).data, [1.0, 2.0])
+
+    def test_gradcheck_maximum(self, rng):
+        a = leaf((3, 2), rng, away_from_zero=True)
+        b = leaf((3, 2), rng, away_from_zero=True)
+        gradcheck(lambda a, b: (a.maximum(b) ** 2).sum(), [a, b])
+
+    def test_gradcheck_minimum(self, rng):
+        a = leaf((3, 2), rng, away_from_zero=True)
+        b = leaf((3, 2), rng, away_from_zero=True)
+        gradcheck(lambda a, b: (a.minimum(b) ** 2).sum(), [a, b])
+
+    def test_gradient_routing(self):
+        a = Tensor([5.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert a.grad[0] == 1.0
+        assert b.grad is None or b.grad[0] == 0.0
+
+
+class TestConcat:
+    def test_value(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(1, 3)))
+        out = Tensor.concat([a, b], axis=0)
+        assert out.shape == (3, 3)
+        assert np.allclose(out.data[:2], a.data)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor.concat([])
+
+    def test_gradcheck_axis0(self, rng):
+        a = leaf((2, 3), rng)
+        b = leaf((2, 3), rng)
+        gradcheck(
+            lambda a, b: (Tensor.concat([a, b], axis=0) ** 2).sum(), [a, b]
+        )
+
+    def test_gradcheck_axis1(self, rng):
+        a = leaf((2, 2), rng)
+        b = leaf((2, 3), rng)
+        gradcheck(
+            lambda a, b: (Tensor.concat([a, b], axis=1) ** 2).sum(), [a, b]
+        )
+
+
+class TestStack:
+    def test_value(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)))
+        b = Tensor(rng.normal(size=(2, 2)))
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 2, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor.stack([])
+
+    def test_gradcheck(self, rng):
+        a = leaf((2, 2), rng)
+        b = leaf((2, 2), rng)
+        gradcheck(
+            lambda a, b: (Tensor.stack([a, b], axis=0) ** 2).sum(), [a, b]
+        )

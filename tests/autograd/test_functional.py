@@ -1,0 +1,127 @@
+"""Tests for composite differentiable functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import (
+    Tensor,
+    cross_entropy,
+    gradcheck,
+    log_softmax,
+    mse_loss,
+    sigmoid,
+    softmax,
+)
+from repro.autograd.functional import l2_normalize_rows
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        out = softmax(x).data
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert (out > 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_large_values_stable(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        out = softmax(x).data
+        assert np.isfinite(out).all()
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda x: (softmax(x) ** 2).sum(), [x])
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_sum_to_one_property(self, n, d):
+        rng = np.random.default_rng(n * 100 + d)
+        out = softmax(Tensor(rng.normal(size=(n, d)) * 10)).data
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(
+            log_softmax(x).data, np.log(softmax(x).data), atol=1e-10
+        )
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        gradcheck(lambda x: (log_softmax(x) * log_softmax(x)).sum(), [x])
+
+
+class TestSigmoid:
+    def test_values(self):
+        x = Tensor(np.array([0.0, 100.0, -100.0]))
+        out = sigmoid(x).data
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(1.0)
+        assert out[2] == pytest.approx(0.0)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradcheck(lambda x: sigmoid(x).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        logits = Tensor(np.zeros((5, 3)))
+        loss = cross_entropy(logits, np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        targets = np.array([0, 1, 2, 1])
+        gradcheck(lambda l: cross_entropy(l, targets), [logits])
+
+
+class TestMseLoss:
+    def test_zero_for_equal(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert mse_loss(x, x).item() == 0.0
+
+    def test_value(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([0.0, 0.0]))
+        assert mse_loss(a, b).item() == pytest.approx(2.5)
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda a, b: mse_loss(a, b), [a, b])
+
+
+class TestL2NormalizeRows:
+    def test_unit_norms(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)))
+        norms = np.linalg.norm(l2_normalize_rows(x).data, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_zero_row_stays_finite(self):
+        x = Tensor(np.zeros((1, 3)))
+        out = l2_normalize_rows(x).data
+        assert np.isfinite(out).all()
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        gradcheck(lambda x: (l2_normalize_rows(x) * x).sum(), [x])

@@ -1,0 +1,38 @@
+"""Meta-tests: gradcheck itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+class TestGradcheck:
+    def test_accepts_correct_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert gradcheck(lambda x: (x * x).sum(), [x])
+
+    def test_rejects_wrong_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def broken(t):
+            # forward of x^2 but a gradient closure of x (factor missing)
+            out_data = t.data**2
+            return Tensor(
+                out_data,
+                requires_grad=True,
+                _parents=(t,),
+                _backward=lambda g: [(t, g * t.data)],  # should be 2x
+            ).sum()
+
+        with pytest.raises(AssertionError, match="gradient mismatch"):
+            gradcheck(broken, [x])
+
+    def test_requires_scalar_output(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            gradcheck(lambda x: x * 2, [x])
+
+    def test_requires_grad_inputs(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError, match="require grad"):
+            gradcheck(lambda x: x.sum(), [x])

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import book_rating_view, tiny_academic, two_view_toy
+from repro.graph import HeteroGraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def academic() -> HeteroGraph:
+    """The Figure 2(a) fixture."""
+    return tiny_academic()
+
+
+@pytest.fixture
+def book_view() -> HeteroGraph:
+    """The Figure 4 fixture (weighted heter-view)."""
+    return book_rating_view()
+
+
+@pytest.fixture
+def toy_pair():
+    """The two-view toy with planted communities: (graph, labels)."""
+    return two_view_toy()
+
+
+@pytest.fixture
+def triangle() -> HeteroGraph:
+    """A minimal weighted homogeneous triangle."""
+    g = HeteroGraph()
+    for n in ("x", "y", "z"):
+        g.add_node(n, "t")
+    g.add_edge("x", "y", "e", weight=1.0)
+    g.add_edge("y", "z", "e", weight=2.0)
+    g.add_edge("z", "x", "e", weight=3.0)
+    return g

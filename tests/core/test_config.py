@@ -1,0 +1,75 @@
+"""Tests for TransNConfig and its ablation presets."""
+
+import pytest
+
+from repro.core import TransNConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        TransNConfig()
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            TransNConfig(dim=0)
+
+    def test_bad_walk_length(self):
+        with pytest.raises(ValueError):
+            TransNConfig(walk_length=1)
+
+    def test_bad_cross_path_len(self):
+        with pytest.raises(ValueError):
+            TransNConfig(cross_path_len=1)
+
+    def test_bad_num_encoders(self):
+        with pytest.raises(ValueError):
+            TransNConfig(num_encoders=0)
+
+    def test_both_tasks_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            TransNConfig(
+                use_translation_tasks=False,
+                use_reconstruction_tasks=False,
+            )
+
+    def test_both_tasks_disabled_ok_without_cross_view(self):
+        TransNConfig(
+            use_cross_view=False,
+            use_translation_tasks=False,
+            use_reconstruction_tasks=False,
+        )
+
+
+class TestAblationPresets:
+    def test_without_cross_view(self):
+        cfg = TransNConfig().without_cross_view()
+        assert not cfg.use_cross_view
+
+    def test_with_simple_walk(self):
+        assert TransNConfig().with_simple_walk().simple_walk
+
+    def test_with_simple_translator(self):
+        assert TransNConfig().with_simple_translator().simple_translator
+
+    def test_without_translation_tasks(self):
+        cfg = TransNConfig().without_translation_tasks()
+        assert not cfg.use_translation_tasks
+        assert cfg.use_reconstruction_tasks
+
+    def test_without_reconstruction_tasks(self):
+        cfg = TransNConfig().without_reconstruction_tasks()
+        assert cfg.use_translation_tasks
+        assert not cfg.use_reconstruction_tasks
+
+    def test_presets_do_not_mutate_base(self):
+        base = TransNConfig()
+        base.with_simple_walk()
+        assert not base.simple_walk
+
+    def test_paper_scale(self):
+        cfg = TransNConfig.paper_scale()
+        assert cfg.dim == 128
+        assert cfg.walk_length == 80
+        assert cfg.walk_floor == 10
+        assert cfg.walk_cap == 32
+        assert cfg.num_encoders == 6

@@ -1,0 +1,81 @@
+"""Tests for the single-view algorithm (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.single_view import SingleViewTrainer
+from repro.graph import separate_views
+from repro.walks import BiasedCorrelatedWalker, UniformWalker
+
+
+@pytest.fixture
+def heter_view(toy_pair):
+    graph, _ = toy_pair
+    return next(v for v in separate_views(graph) if v.is_heter)
+
+
+@pytest.fixture
+def homo_view(toy_pair):
+    graph, _ = toy_pair
+    return next(v for v in separate_views(graph) if v.is_homo)
+
+
+def make_trainer(view, rng, **kwargs):
+    emb = rng.normal(0, 0.1, size=(view.num_nodes, 8))
+    defaults = dict(walk_length=8, walk_floor=2, walk_cap=4, batch_size=64)
+    defaults.update(kwargs)
+    return SingleViewTrainer(view, emb, rng=rng, **defaults), emb
+
+
+class TestConstruction:
+    def test_embedding_shape_checked(self, heter_view, rng):
+        with pytest.raises(ValueError):
+            SingleViewTrainer(
+                heter_view, np.zeros((heter_view.num_nodes + 1, 8)), rng=rng
+            )
+
+    def test_window_follows_definition_6(self, heter_view, homo_view, rng):
+        heter_trainer, _ = make_trainer(heter_view, rng)
+        homo_trainer, _ = make_trainer(homo_view, rng)
+        assert heter_trainer.window == 2
+        assert homo_trainer.window == 1
+
+    def test_walker_selection(self, heter_view, rng):
+        default_trainer, _ = make_trainer(heter_view, rng)
+        simple_trainer, _ = make_trainer(heter_view, rng, simple_walk=True)
+        assert isinstance(default_trainer.walker, BiasedCorrelatedWalker)
+        assert isinstance(simple_trainer.walker, UniformWalker)
+
+
+class TestTraining:
+    def test_corpus_respects_policy(self, heter_view, rng):
+        trainer, _ = make_trainer(heter_view, rng)
+        corpus = trainer.sample_corpus()
+        n = heter_view.num_nodes
+        assert 2 * n <= len(corpus) <= 4 * n
+
+    def test_epoch_updates_embeddings(self, heter_view, rng):
+        trainer, emb = make_trainer(heter_view, rng)
+        before = emb.copy()
+        loss = trainer.train_epoch(lr=0.1)
+        assert loss > 0
+        assert not np.allclose(emb, before)
+
+    def test_loss_decreases_over_epochs(self, heter_view, rng):
+        trainer, _ = make_trainer(heter_view, rng)
+        losses = [trainer.train_epoch(lr=0.1) for _ in range(10)]
+        assert losses[-1] < losses[0]
+
+    def test_evaluate_loss_no_update(self, heter_view, rng):
+        trainer, emb = make_trainer(heter_view, rng)
+        before = emb.copy()
+        loss = trainer.evaluate_loss()
+        assert loss > 0
+        assert np.allclose(emb, before)
+
+    def test_embeddings_remain_finite(self, heter_view, rng):
+        trainer, emb = make_trainer(heter_view, rng)
+        for _ in range(15):
+            trainer.train_epoch(lr=0.1)
+        assert np.isfinite(emb).all()
+        assert np.abs(emb).max() < 100

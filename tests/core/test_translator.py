@@ -1,0 +1,92 @@
+"""Tests for the translator stacks (Equation 10)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.core import SimpleTranslator, Translator, make_translator
+
+
+class TestTranslator:
+    def test_shape_preserved(self, rng):
+        t = Translator(path_len=5, dim=4, num_encoders=2, rng=rng)
+        out = t(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 4)
+
+    def test_layer_count_is_2h(self, rng):
+        for h in (1, 2, 4):
+            t = Translator(path_len=3, dim=2, num_encoders=h, rng=rng)
+            assert t.num_layers == 2 * h
+
+    def test_needs_at_least_one_encoder(self, rng):
+        with pytest.raises(ValueError):
+            Translator(path_len=3, dim=2, num_encoders=0, rng=rng)
+
+    def test_shape_validation(self, rng):
+        t = Translator(path_len=4, dim=3, num_encoders=1, rng=rng)
+        with pytest.raises(ValueError):
+            t(Tensor(rng.normal(size=(3, 3))))
+
+    def test_output_can_be_negative(self, rng):
+        """The final encoder is linear: outputs are not orthant-trapped.
+
+        With a single encoder (attention then near-identity linear
+        feed-forward) an all-negative input maps to a mostly-negative
+        output; a relu output layer would force it non-negative.
+        """
+        t = Translator(path_len=4, dim=3, num_encoders=1, rng=rng)
+        out = t(Tensor(-np.abs(rng.normal(size=(4, 3))) - 1.0))
+        assert (out.data < 0).any()
+
+    def test_hidden_encoders_relu_final_linear(self, rng):
+        t = Translator(path_len=4, dim=3, num_encoders=3, rng=rng)
+        activations = [e.feed_forward.activation for e in t.encoders]
+        assert activations == ["relu", "relu", "linear"]
+
+    def test_near_identity_at_init(self, rng):
+        """Identity-initialized feed-forwards make a fresh translator
+        close to the identity map on positive inputs."""
+        t = Translator(path_len=4, dim=3, num_encoders=1, rng=rng)
+        a = np.abs(rng.normal(size=(4, 3))) + 1.0
+        # attention averages rows; with 1 encoder the output is close to
+        # the attention output, not the raw input — check boundedness
+        out = t(Tensor(a)).data
+        assert np.isfinite(out).all()
+        assert np.abs(out).max() < 10 * np.abs(a).max()
+
+    def test_parameters_trainable(self, rng):
+        t = Translator(path_len=3, dim=2, num_encoders=2, rng=rng)
+        params = list(t.parameters())
+        # 2 encoders x (weight + bias)
+        assert len(params) == 4
+        assert all(p.requires_grad for p in params)
+
+    def test_gradcheck_through_stack(self, rng):
+        t = Translator(path_len=3, dim=2, num_encoders=2, rng=rng)
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda a: (t(a) ** 2).mean(), [a])
+
+
+class TestSimpleTranslator:
+    def test_shape(self, rng):
+        t = SimpleTranslator(path_len=4, dim=3, rng=rng)
+        assert t(Tensor(rng.normal(size=(4, 3)))).shape == (4, 3)
+
+    def test_two_parameters(self, rng):
+        t = SimpleTranslator(path_len=4, dim=3, rng=rng)
+        assert len(list(t.parameters())) == 2
+
+    def test_shape_validation(self, rng):
+        t = SimpleTranslator(path_len=4, dim=3, rng=rng)
+        with pytest.raises(ValueError):
+            t(Tensor(rng.normal(size=(4, 2))))
+
+
+class TestFactory:
+    def test_simple_flag(self, rng):
+        assert isinstance(
+            make_translator(3, 2, 2, simple=True, rng=rng), SimpleTranslator
+        )
+        assert isinstance(
+            make_translator(3, 2, 2, simple=False, rng=rng), Translator
+        )

@@ -1,0 +1,69 @@
+"""Tests for the Figure 6 case-study pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_case_study
+from repro.eval.case_study import select_case_nodes
+
+
+def category_embeddings(rng, categories=4, per_category=12, dim=16, spread=0.2):
+    embeddings, labels = {}, {}
+    for c in range(categories):
+        center = rng.normal(size=dim) * 4
+        for k in range(per_category):
+            node = f"cat{c}_{k}"
+            embeddings[node] = center + rng.normal(0, spread, size=dim)
+            labels[node] = c
+    return embeddings, labels
+
+
+class TestSelectCaseNodes:
+    def test_per_category_count(self, rng):
+        _, labels = category_embeddings(rng)
+        nodes = select_case_nodes(labels, per_category=5, seed=0)
+        assert len(nodes) == 4 * 5
+        counts = {}
+        for n in nodes:
+            counts[labels[n]] = counts.get(labels[n], 0) + 1
+        assert all(v == 5 for v in counts.values())
+
+    def test_small_category_fully_taken(self):
+        labels = {"a": 0, "b": 0, "c": 1}
+        nodes = select_case_nodes(labels, per_category=10, seed=0)
+        assert sorted(nodes) == ["a", "b", "c"]
+
+    def test_seeded(self, rng):
+        _, labels = category_embeddings(rng)
+        assert select_case_nodes(labels, 5, seed=2) == select_case_nodes(
+            labels, 5, seed=2
+        )
+
+
+class TestRunCaseStudy:
+    def test_projection_shape(self, rng):
+        embeddings, labels = category_embeddings(rng)
+        result = run_case_study(embeddings, labels, per_category=8, seed=0)
+        assert result.projection.shape == (len(result.nodes), 2)
+        assert len(result.labels) == len(result.nodes)
+
+    def test_separated_categories_high_silhouette(self, rng):
+        embeddings, labels = category_embeddings(rng, spread=0.1)
+        result = run_case_study(embeddings, labels, per_category=8, seed=0)
+        assert result.silhouette_embedding > 0.7
+        assert result.silhouette_projection > 0.5
+
+    def test_shuffled_labels_low_silhouette(self, rng):
+        embeddings, labels = category_embeddings(rng, spread=0.1)
+        values = list(labels.values())
+        rng.shuffle(values)
+        shuffled = dict(zip(labels.keys(), values))
+        good = run_case_study(embeddings, labels, per_category=8, seed=0)
+        bad = run_case_study(embeddings, shuffled, per_category=8, seed=0)
+        assert good.silhouette_embedding > bad.silhouette_embedding
+
+    def test_too_few_nodes_rejected(self, rng):
+        embeddings = {f"n{k}": rng.normal(size=4) for k in range(4)}
+        labels = {f"n{k}": k % 2 for k in range(4)}
+        with pytest.raises(ValueError):
+            run_case_study(embeddings, labels)

@@ -1,0 +1,44 @@
+"""Tests for the case-study embedding normalization."""
+
+import numpy as np
+
+from repro.eval import run_case_study
+
+
+def norm_dominated_embeddings(rng, classes=3, per=15, dim=8):
+    """Directions encode the class; norms are huge class-independent noise.
+
+    Euclidean geometry is dominated by the norms; angular geometry is
+    perfectly separated.
+    """
+    directions = np.eye(dim)[:classes]
+    embeddings, labels = {}, {}
+    for c in range(classes):
+        for k in range(per):
+            node = f"c{c}n{k}"
+            direction = directions[c] + rng.normal(0, 0.05, size=dim)
+            scale = float(rng.uniform(0.1, 50.0))
+            embeddings[node] = direction * scale
+            labels[node] = c
+    return embeddings, labels
+
+
+class TestNormalization:
+    def test_normalization_recovers_angular_structure(self, rng):
+        embeddings, labels = norm_dominated_embeddings(rng)
+        normalized = run_case_study(
+            embeddings, labels, per_category=10, seed=0, normalize=True
+        )
+        raw = run_case_study(
+            embeddings, labels, per_category=10, seed=0, normalize=False
+        )
+        assert normalized.silhouette_embedding > raw.silhouette_embedding
+        assert normalized.silhouette_embedding > 0.5
+
+    def test_normalize_default_on(self, rng):
+        embeddings, labels = norm_dominated_embeddings(rng)
+        default = run_case_study(embeddings, labels, per_category=10, seed=0)
+        explicit = run_case_study(
+            embeddings, labels, per_category=10, seed=0, normalize=True
+        )
+        assert default.silhouette_embedding == explicit.silhouette_embedding

@@ -1,0 +1,50 @@
+"""Tests for the node-clustering extension task."""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_clustering
+
+
+def clustered_embeddings(rng, classes=3, per=20, dim=8, spread=0.2):
+    embeddings, labels = {}, {}
+    for c in range(classes):
+        center = rng.normal(size=dim) * 4
+        for k in range(per):
+            node = f"c{c}n{k}"
+            embeddings[node] = center + rng.normal(0, spread, size=dim)
+            labels[node] = c
+    return embeddings, labels
+
+
+class TestRunClustering:
+    def test_clustered_embeddings_high_nmi(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        result = run_clustering(embeddings, labels, seed=0)
+        assert result.nmi > 0.9
+        assert result.num_clusters == 3
+        assert result.num_nodes == 60
+
+    def test_random_embeddings_low_nmi(self, rng):
+        _, labels = clustered_embeddings(rng)
+        noise = {n: rng.normal(size=8) for n in labels}
+        result = run_clustering(noise, labels, seed=0)
+        assert result.nmi < 0.4
+
+    def test_too_few_nodes(self, rng):
+        embeddings = {f"n{k}": rng.normal(size=4) for k in range(5)}
+        labels = {f"n{k}": k % 2 for k in range(5)}
+        with pytest.raises(ValueError):
+            run_clustering(embeddings, labels)
+
+    def test_single_class_rejected(self, rng):
+        embeddings = {f"n{k}": rng.normal(size=4) for k in range(20)}
+        labels = {f"n{k}": 0 for k in range(20)}
+        with pytest.raises(ValueError):
+            run_clustering(embeddings, labels)
+
+    def test_unembedded_labels_skipped(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        labels["ghost"] = 0
+        result = run_clustering(embeddings, labels, seed=0)
+        assert result.num_nodes == 60

@@ -1,0 +1,100 @@
+"""Tests for the link-prediction pipeline (Section IV-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import EmbeddingMethod
+from repro.eval import run_link_prediction
+from repro.eval.link_prediction import make_split
+from repro.graph import HeteroGraph
+
+
+@pytest.fixture
+def clustered_graph():
+    """Two dense clusters: removed intra-cluster edges are predictable."""
+    g = HeteroGraph()
+    for c in range(2):
+        members = [f"c{c}n{k}" for k in range(8)]
+        for m in members:
+            g.add_node(m, "t")
+        for i in range(8):
+            for j in range(i + 1, 8):
+                g.add_edge(members[i], members[j], "e")
+    g.add_edge("c0n0", "c1n0", "e")
+    return g
+
+
+class OracleMethod(EmbeddingMethod):
+    """Embeds by (known) cluster — the best possible link predictor."""
+
+    name = "Oracle"
+
+    def fit(self, graph):
+        out = {}
+        for node in graph.nodes:
+            cluster = int(str(node)[1])
+            vec = np.zeros(2)
+            vec[cluster] = 1.0
+            out[node] = vec
+        return out
+
+
+class NoiseMethod(EmbeddingMethod):
+    """Random embeddings — an uninformed predictor."""
+
+    name = "Noise"
+
+    def fit(self, graph):
+        rng = np.random.default_rng(0)
+        return {n: rng.normal(size=4) for n in graph.nodes}
+
+
+class TestMakeSplit:
+    def test_removal_fraction(self, clustered_graph):
+        split = make_split(clustered_graph, 0.4, seed=0)
+        total = clustered_graph.num_edges
+        assert len(split.positive_pairs) == round(0.4 * total)
+        assert split.train_graph.num_edges == total - len(split.positive_pairs)
+
+    def test_negatives_balanced_and_nonadjacent(self, clustered_graph):
+        split = make_split(clustered_graph, 0.4, seed=0)
+        assert len(split.negative_pairs) == len(split.positive_pairs)
+        for u, v in split.negative_pairs:
+            assert not clustered_graph.has_edge(u, v)
+            assert u != v
+
+    def test_train_graph_keeps_all_nodes(self, clustered_graph):
+        split = make_split(clustered_graph, 0.4, seed=0)
+        assert split.train_graph.num_nodes == clustered_graph.num_nodes
+
+    def test_seeded(self, clustered_graph):
+        a = make_split(clustered_graph, 0.4, seed=3)
+        b = make_split(clustered_graph, 0.4, seed=3)
+        assert a.positive_pairs == b.positive_pairs
+        assert a.negative_pairs == b.negative_pairs
+
+    def test_bad_fraction(self, clustered_graph):
+        with pytest.raises(ValueError):
+            make_split(clustered_graph, 1.5)
+
+
+class TestRunLinkPrediction:
+    def test_oracle_gets_high_auc(self, clustered_graph):
+        result = run_link_prediction(OracleMethod, clustered_graph, seed=0)
+        assert result.auc > 0.9
+
+    def test_oracle_beats_noise(self, clustered_graph):
+        split = make_split(clustered_graph, 0.4, seed=0)
+        oracle = run_link_prediction(OracleMethod, clustered_graph, split=split)
+        noise = run_link_prediction(NoiseMethod, clustered_graph, split=split)
+        assert oracle.auc > noise.auc + 0.2
+
+    def test_counts_reported(self, clustered_graph):
+        result = run_link_prediction(OracleMethod, clustered_graph, seed=0)
+        assert result.num_positive == result.num_negative > 0
+
+    def test_shared_split_isolates_method_effect(self, clustered_graph):
+        split = make_split(clustered_graph, 0.4, seed=1)
+        a = run_link_prediction(OracleMethod, clustered_graph, split=split)
+        b = run_link_prediction(OracleMethod, clustered_graph, split=split)
+        assert a.auc == b.auc

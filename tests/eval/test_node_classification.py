@@ -1,0 +1,64 @@
+"""Tests for the node-classification pipeline (Section IV-B1)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_node_classification
+
+
+def labeled_embeddings(rng, n_per_class=30, classes=3, dim=8, noise=0.1):
+    """Perfectly class-clustered embeddings."""
+    embeddings, labels = {}, {}
+    for c in range(classes):
+        center = rng.normal(size=dim) * 3
+        for k in range(n_per_class):
+            node = f"c{c}n{k}"
+            embeddings[node] = center + rng.normal(0, noise, size=dim)
+            labels[node] = c
+    return embeddings, labels
+
+
+class TestRunNodeClassification:
+    def test_separable_data_high_f1(self, rng):
+        embeddings, labels = labeled_embeddings(rng)
+        result = run_node_classification(embeddings, labels, repeats=3)
+        assert result.macro_f1 > 0.95
+        assert result.micro_f1 > 0.95
+        assert result.repeats == 3
+
+    def test_random_labels_low_f1(self, rng):
+        embeddings, labels = labeled_embeddings(rng)
+        shuffled = list(labels.values())
+        rng.shuffle(shuffled)
+        labels = dict(zip(labels.keys(), shuffled))
+        result = run_node_classification(embeddings, labels, repeats=3)
+        assert result.macro_f1 < 0.65
+
+    def test_too_few_nodes_rejected(self, rng):
+        embeddings = {f"n{k}": rng.normal(size=4) for k in range(5)}
+        labels = {f"n{k}": k % 2 for k in range(5)}
+        with pytest.raises(ValueError):
+            run_node_classification(embeddings, labels)
+
+    def test_unembedded_labels_skipped(self, rng):
+        embeddings, labels = labeled_embeddings(rng)
+        labels["ghost"] = 0  # no embedding
+        result = run_node_classification(embeddings, labels, repeats=2)
+        assert result.micro_f1 > 0.9
+
+    def test_seeded_reproducibility(self, rng):
+        embeddings, labels = labeled_embeddings(rng, noise=1.5)
+        a = run_node_classification(embeddings, labels, repeats=3, seed=5)
+        b = run_node_classification(embeddings, labels, repeats=3, seed=5)
+        assert a.macro_f1 == b.macro_f1
+
+    def test_std_reported(self, rng):
+        embeddings, labels = labeled_embeddings(rng, noise=2.0)
+        result = run_node_classification(embeddings, labels, repeats=5)
+        assert result.macro_std >= 0.0
+        assert result.micro_std >= 0.0
+
+    def test_as_row(self, rng):
+        embeddings, labels = labeled_embeddings(rng)
+        row = run_node_classification(embeddings, labels, repeats=2).as_row()
+        assert set(row) == {"Macro-F1", "Micro-F1"}

@@ -1,0 +1,73 @@
+"""Tests for the alias sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import AliasSampler
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, -0.5])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, float("nan")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            AliasSampler([[1.0, 2.0]])
+
+
+class TestSampling:
+    def test_single_outcome(self, rng):
+        sampler = AliasSampler([3.0])
+        assert sampler.sample(rng) == 0
+        assert (sampler.sample(rng, size=10) == 0).all()
+
+    def test_scalar_vs_array_api(self, rng):
+        sampler = AliasSampler([1.0, 1.0])
+        assert isinstance(sampler.sample(rng), int)
+        out = sampler.sample(rng, size=5)
+        assert out.shape == (5,)
+
+    def test_zero_weight_never_sampled(self, rng):
+        sampler = AliasSampler([0.0, 1.0, 0.0, 2.0])
+        draws = sampler.sample(rng, size=5000)
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_empirical_distribution(self, rng):
+        weights = [1.0, 2.0, 3.0, 4.0]
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(rng, size=200_000)
+        counts = np.bincount(draws, minlength=4) / draws.size
+        expected = np.array(weights) / sum(weights)
+        assert np.allclose(counts, expected, atol=0.01)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_table_reconstructs_distribution(self, weights):
+        """The alias table encodes exactly the normalized weights."""
+        sampler = AliasSampler(weights)
+        expected = np.asarray(weights) / np.sum(weights)
+        assert np.allclose(sampler.probabilities(), expected, atol=1e-9)
+
+    def test_num_outcomes(self):
+        assert AliasSampler([1, 2, 3]).num_outcomes == 3

@@ -1,0 +1,108 @@
+"""Tests for graph and embedding serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    load_embeddings,
+    load_graph,
+    save_embeddings,
+    save_graph,
+)
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, academic, tmp_path):
+        path = tmp_path / "g.tsv"
+        save_graph(academic, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == academic.num_nodes
+        assert loaded.num_edges == academic.num_edges
+        for node in academic.nodes:
+            assert loaded.node_type(node) == academic.node_type(node)
+        for orig, new in zip(academic.edges, loaded.edges):
+            assert orig.endpoints() == new.endpoints()
+            assert orig.edge_type == new.edge_type
+            assert orig.weight == new.weight
+
+    def test_weights_preserved_exactly(self, book_view, tmp_path):
+        path = tmp_path / "g.tsv"
+        save_graph(book_view, path)
+        loaded = load_graph(path)
+        assert loaded.edge_weight("R2", "B2") == 5.0
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        from repro.graph import HeteroGraph
+
+        g = HeteroGraph()
+        g.add_node("iso", "t")
+        g.add_edge("a", "b", "e", u_type="t", v_type="t")
+        path = tmp_path / "g.tsv"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.has_node("iso")
+        assert loaded.degree("iso") == 0
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text(
+            "# header\n\nnode\ta\tt\nnode\tb\tt\nedge\ta\tb\te\t2.0\n"
+        )
+        loaded = load_graph(path)
+        assert loaded.num_edges == 1
+
+    def test_malformed_node_record(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("node\tonly_one_field\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            load_graph(path)
+
+    def test_malformed_edge_record(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("node\ta\tt\nnode\tb\tt\nedge\ta\tb\te\n")
+        with pytest.raises(ValueError, match="5 fields"):
+            load_graph(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("vertex\ta\tt\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_graph(path)
+
+
+class TestEmbeddingRoundTrip:
+    def test_round_trip(self, rng, tmp_path):
+        embeddings = {f"n{k}": rng.normal(size=6) for k in range(5)}
+        path = tmp_path / "emb.txt"
+        save_embeddings(embeddings, path)
+        loaded = load_embeddings(path)
+        assert set(loaded) == set(embeddings)
+        for node in embeddings:
+            assert np.allclose(loaded[node], embeddings[node], atol=1e-6)
+
+    def test_header_format(self, rng, tmp_path):
+        embeddings = {"a": rng.normal(size=3)}
+        path = tmp_path / "emb.txt"
+        save_embeddings(embeddings, path)
+        assert path.read_text().splitlines()[0] == "1 3"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_embeddings({}, tmp_path / "emb.txt")
+
+    def test_inconsistent_dim_rejected(self, rng, tmp_path):
+        embeddings = {"a": rng.normal(size=3), "b": rng.normal(size=4)}
+        with pytest.raises(ValueError, match="inconsistent"):
+            save_embeddings(embeddings, tmp_path / "emb.txt")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        path.write_text("2 3\na 1 2 3\n")
+        with pytest.raises(ValueError, match="promises 2"):
+            load_embeddings(path)
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        path.write_text("1 3\na 1 2\n")
+        with pytest.raises(ValueError, match="expected 4 fields"):
+            load_embeddings(path)

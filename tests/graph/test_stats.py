@@ -1,0 +1,45 @@
+"""Tests for Table II-style statistics."""
+
+import pytest
+
+from repro.graph import compute_statistics
+
+
+class TestStatistics:
+    def test_counts(self, academic):
+        stats = compute_statistics(academic, "fixture")
+        assert stats.num_nodes == 9
+        assert stats.num_edges == 11
+        assert stats.nodes_per_type == {
+            "author": 5,
+            "paper": 2,
+            "university": 2,
+        }
+        assert stats.edges_per_type == {
+            "citation": 1,
+            "authorship": 5,
+            "affiliation": 5,
+        }
+
+    def test_density_and_degree(self, triangle):
+        stats = compute_statistics(triangle, "tri")
+        assert stats.density == pytest.approx(1.0)
+        assert stats.average_degree == pytest.approx(2.0)
+
+    def test_labels_counted(self, academic):
+        labels = {"P1": 0, "P2": 1, "ghost": 2}
+        stats = compute_statistics(academic, "fixture", labels)
+        assert stats.num_labeled == 2  # ghost is not in the graph
+        assert stats.labeled_type == "paper"
+
+    def test_no_labels(self, academic):
+        stats = compute_statistics(academic, "fixture")
+        assert stats.num_labeled == 0
+        assert stats.labeled_type is None
+
+    def test_as_row_shape(self, academic):
+        row = compute_statistics(academic, "fixture", {"P1": 0}).as_row()
+        assert row["Dataset"] == "fixture"
+        assert row["#Nodes"] == "9"
+        assert "author(5)" in row["Node Types (#Nodes)"]
+        assert row["#Labeled Nodes"] == "paper(1)"

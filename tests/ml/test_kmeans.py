@@ -1,0 +1,97 @@
+"""Tests for k-means and NMI."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, normalized_mutual_information
+
+
+def three_blobs(rng, per=25, spread=0.3):
+    centers = np.array([[0, 0], [6, 0], [0, 6]], dtype=float)
+    x = np.vstack(
+        [c + rng.normal(0, spread, size=(per, 2)) for c in centers]
+    )
+    y = np.repeat(np.arange(3), per)
+    return x, y
+
+
+class TestKMeans:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(5).fit_predict(rng.normal(size=(3, 2)))
+        with pytest.raises(ValueError):
+            KMeans(2).fit_predict(rng.normal(size=(10,)))
+
+    def test_recovers_blobs(self, rng):
+        x, y = three_blobs(rng)
+        predicted = KMeans(3, seed=0).fit_predict(x)
+        assert normalized_mutual_information(y, predicted) > 0.95
+
+    def test_deterministic(self, rng):
+        x, _ = three_blobs(rng)
+        a = KMeans(3, seed=1).fit_predict(x)
+        b = KMeans(3, seed=1).fit_predict(x)
+        assert np.array_equal(a, b)
+
+    def test_inertia_reported(self, rng):
+        x, _ = three_blobs(rng)
+        km = KMeans(3, seed=0)
+        km.fit_predict(x)
+        assert km.inertia_ is not None and km.inertia_ >= 0
+        assert km.centers_.shape == (3, 2)
+
+    def test_single_cluster(self, rng):
+        x = rng.normal(size=(10, 2))
+        labels = KMeans(1, seed=0).fit_predict(x)
+        assert (labels == 0).all()
+
+    def test_more_restarts_never_worse(self, rng):
+        x, _ = three_blobs(rng, spread=1.5)
+        one = KMeans(3, num_init=1, seed=0)
+        one.fit_predict(x)
+        many = KMeans(3, num_init=8, seed=0)
+        many.fit_predict(x)
+        assert many.inertia_ <= one.inertia_ + 1e-9
+
+
+class TestNmi:
+    def test_perfect_match(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(y, y) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_information(y, permuted) == pytest.approx(1.0)
+
+    def test_independent_labels_near_zero(self, rng):
+        y_true = rng.integers(0, 3, size=3000)
+        y_pred = rng.integers(0, 3, size=3000)
+        assert normalized_mutual_information(y_true, y_pred) < 0.01
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, size=200)
+        b = rng.integers(0, 4, size=200)
+        assert normalized_mutual_information(
+            a, b
+        ) == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_bounds(self, rng):
+        for _ in range(10):
+            a = rng.integers(0, 4, size=60)
+            b = rng.integers(0, 4, size=60)
+            nmi = normalized_mutual_information(a, b)
+            assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([]), np.array([]))
+
+    def test_single_class_both(self):
+        assert normalized_mutual_information(
+            np.zeros(5), np.zeros(5)
+        ) == pytest.approx(1.0)

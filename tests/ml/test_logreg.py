@@ -1,0 +1,79 @@
+"""Tests for the L-BFGS multinomial logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression
+
+
+def blobs(rng, n_per_class=40, centers=((0, 0), (5, 5), (0, 5))):
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(0, 0.7, size=(n_per_class, 2)) + center)
+        ys.append(np.full(n_per_class, label))
+    return np.vstack(xs), np.concatenate(ys)
+
+
+class TestValidation:
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(c=0.0)
+
+    def test_shape_mismatch(self, rng):
+        clf = LogisticRegression()
+        with pytest.raises(ValueError):
+            clf.fit(rng.normal(size=(4, 2)), np.zeros(3))
+
+    def test_single_class_rejected(self, rng):
+        clf = LogisticRegression()
+        with pytest.raises(ValueError):
+            clf.fit(rng.normal(size=(4, 2)), np.zeros(4))
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(rng.normal(size=(2, 2)))
+
+
+class TestFit:
+    def test_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        clf = LogisticRegression().fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.97
+
+    def test_binary(self, rng):
+        x, y = blobs(rng, centers=((0, 0), (4, 4)))
+        clf = LogisticRegression().fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.97
+
+    def test_string_labels(self, rng):
+        x, _ = blobs(rng, centers=((0, 0), (4, 4)))
+        y = np.array(["neg"] * 40 + ["pos"] * 40)
+        clf = LogisticRegression().fit(x, y)
+        assert set(clf.predict(x)) <= {"neg", "pos"}
+        assert (clf.predict(x) == y).mean() > 0.97
+
+    def test_probabilities_normalized(self, rng):
+        x, y = blobs(rng)
+        clf = LogisticRegression().fit(x, y)
+        probs = clf.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_prediction_argmax_consistent(self, rng):
+        x, y = blobs(rng)
+        clf = LogisticRegression().fit(x, y)
+        assert np.array_equal(
+            clf.predict(x), clf.classes_[clf.predict_proba(x).argmax(axis=1)]
+        )
+
+    def test_regularization_shrinks_weights(self, rng):
+        x, y = blobs(rng, centers=((0, 0), (4, 4)))
+        loose = LogisticRegression(c=100.0).fit(x, y)
+        tight = LogisticRegression(c=0.01).fit(x, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_deterministic(self, rng):
+        x, y = blobs(rng)
+        a = LogisticRegression().fit(x, y).coef_
+        b = LogisticRegression().fit(x, y).coef_
+        assert np.allclose(a, b)

@@ -1,0 +1,161 @@
+"""Tests for classification and ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    f1_scores,
+    roc_auc_score,
+    silhouette_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        labels, m = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 1]))
+        assert np.array_equal(m, [[1, 0], [0, 2]])
+
+    def test_off_diagonal(self):
+        _, m = confusion_matrix(np.array([0, 0, 1]), np.array([1, 0, 1]))
+        assert m[0, 1] == 1
+
+    def test_string_labels(self):
+        labels, m = confusion_matrix(
+            np.array(["cat", "dog"]), np.array(["dog", "dog"])
+        )
+        assert list(labels) == ["cat", "dog"]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+
+
+class TestAccuracy:
+    def test_value(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestF1:
+    def test_perfect_prediction(self):
+        scores = f1_scores(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert scores.micro == 1.0
+        assert scores.macro == 1.0
+
+    def test_hand_computed_binary(self):
+        # TP=2, FP=1, FN=1 for class 1; class 0: TP=1, FP=1, FN=1
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        scores = f1_scores(y_true, y_pred)
+        f1_class1 = 2 * 2 / (2 * 2 + 1 + 1)
+        f1_class0 = 2 * 1 / (2 * 1 + 1 + 1)
+        assert scores.macro == pytest.approx((f1_class0 + f1_class1) / 2)
+        # micro-F1 over all classes equals accuracy in single-label tasks
+        assert scores.micro == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_missing_class_counts_zero(self):
+        # class 2 never predicted and never true-positive
+        scores = f1_scores(np.array([0, 0, 2]), np.array([0, 0, 0]))
+        per_class0 = 2 * 2 / (2 * 2 + 1 + 0)
+        assert scores.macro == pytest.approx(per_class0 / 2)
+
+    def test_micro_equals_accuracy_property(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            y_true = rng.integers(0, 4, size=50)
+            y_pred = rng.integers(0, 4, size=50)
+            scores = f1_scores(y_true, y_pred)
+            assert scores.micro == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, 3, size=30)
+        y_pred = rng.integers(0, 3, size=30)
+        scores = f1_scores(y_true, y_pred)
+        assert 0.0 <= scores.macro <= 1.0
+        assert 0.0 <= scores.micro <= 1.0
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, s) == 1.0
+
+    def test_reversed_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=5000)
+        while y.sum() in (0, y.size):
+            y = rng.integers(0, 2, size=5000)
+        s = rng.normal(size=5000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.03
+
+    def test_ties_averaged(self):
+        y = np.array([0, 1])
+        s = np.array([0.5, 0.5])
+        assert roc_auc_score(y, s) == pytest.approx(0.5)
+
+    def test_hand_computed(self):
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0.9, 0.8, 0.7, 0.1])
+        # pairs: (0.9>0.8), (0.9>0.1), (0.7<0.8), (0.7>0.1) -> 3/4
+        assert roc_auc_score(y, s) == pytest.approx(0.75)
+
+    def test_antisymmetry(self):
+        """AUC(y, s) + AUC(y, -s) == 1 (no ties)."""
+        rng = np.random.default_rng(3)
+        y = np.array([0, 1] * 20)
+        s = rng.normal(size=40)
+        assert roc_auc_score(y, s) + roc_auc_score(y, -s) == pytest.approx(1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.ones(4), np.arange(4.0))
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_transform_invariance(self, n):
+        rng = np.random.default_rng(n)
+        y = np.concatenate([np.zeros(n // 2 + 1), np.ones(n // 2 + 1)])
+        s = rng.normal(size=y.size)
+        a1 = roc_auc_score(y, s)
+        a2 = roc_auc_score(y, np.exp(s))  # strictly increasing map
+        assert a1 == pytest.approx(a2)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters(self):
+        x = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 100])
+        labels = np.array([0] * 5 + [1] * 5)
+        assert silhouette_score(x, labels) > 0.95
+
+    def test_identical_clusters_near_zero(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(40, 3))
+        labels = np.array([0, 1] * 20)
+        assert abs(silhouette_score(x, labels)) < 0.2
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.ones((4, 2)), np.zeros(4))
+
+    def test_separated_beats_mixed(self):
+        rng = np.random.default_rng(5)
+        x = np.vstack(
+            [rng.normal(0, 1, (20, 2)), rng.normal(8, 1, (20, 2))]
+        )
+        good = np.array([0] * 20 + [1] * 20)
+        bad = np.array([0, 1] * 20)
+        assert silhouette_score(x, good) > silhouette_score(x, bad)

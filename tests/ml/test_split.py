@@ -1,0 +1,62 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import train_test_split
+
+
+class TestValidation:
+    def test_bad_fraction(self, rng):
+        for frac in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_test_split(10, frac, rng)
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5, rng)
+
+    def test_stratify_shape(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(5, 0.5, rng, stratify=np.zeros(4))
+
+
+class TestPlainSplit:
+    def test_partition(self, rng):
+        train, test = train_test_split(20, 0.9, rng)
+        combined = np.concatenate([train, test])
+        assert sorted(combined) == list(range(20))
+
+    def test_sizes(self, rng):
+        train, test = train_test_split(100, 0.9, rng)
+        assert train.size == 90
+        assert test.size == 10
+
+    def test_seeded_reproducibility(self):
+        a = train_test_split(50, 0.8, np.random.default_rng(7))
+        b = train_test_split(50, 0.8, np.random.default_rng(7))
+        assert np.array_equal(a[0], b[0])
+
+    def test_different_seeds_differ(self):
+        a = train_test_split(50, 0.8, np.random.default_rng(1))
+        b = train_test_split(50, 0.8, np.random.default_rng(2))
+        assert not np.array_equal(a[0], b[0])
+
+
+class TestStratifiedSplit:
+    def test_class_proportions_preserved(self, rng):
+        labels = np.array([0] * 80 + [1] * 20)
+        train, test = train_test_split(100, 0.75, rng, stratify=labels)
+        train_labels = labels[train]
+        assert (train_labels == 0).sum() == 60
+        assert (train_labels == 1).sum() == 15
+
+    def test_partition_property(self, rng):
+        labels = np.array([0, 1, 2] * 10)
+        train, test = train_test_split(30, 0.7, rng, stratify=labels)
+        assert sorted(np.concatenate([train, test])) == list(range(30))
+
+    def test_tiny_class_goes_to_train(self, rng):
+        labels = np.array([0] * 19 + [1])
+        train, test = train_test_split(20, 0.9, rng, stratify=labels)
+        assert 19 in train  # the single class-1 sample trains

@@ -1,0 +1,82 @@
+"""Tests for PCA and t-SNE."""
+
+import numpy as np
+import pytest
+
+from repro.ml import TSNE, pca, silhouette_score
+
+
+class TestPca:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(20, 5))
+        assert pca(x, 2).shape == (20, 2)
+
+    def test_variance_ordering(self, rng):
+        x = rng.normal(size=(100, 4)) * np.array([10.0, 5.0, 1.0, 0.1])
+        proj = pca(x, 3)
+        variances = proj.var(axis=0)
+        assert variances[0] >= variances[1] >= variances[2]
+
+    def test_recovers_dominant_direction(self, rng):
+        t = rng.normal(size=200)
+        x = np.outer(t, [3.0, 4.0]) + rng.normal(0, 0.01, size=(200, 2))
+        proj = pca(x, 1)
+        corr = np.corrcoef(proj[:, 0], t)[0, 1]
+        assert abs(corr) > 0.999
+
+    def test_deterministic_sign(self, rng):
+        x = rng.normal(size=(30, 3))
+        assert np.allclose(pca(x, 2), pca(x.copy(), 2))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            pca(rng.normal(size=(5,)), 1)
+        with pytest.raises(ValueError):
+            pca(rng.normal(size=(5, 3)), 4)
+
+
+class TestTsne:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TSNE(perplexity=30).fit_transform(rng.normal(size=(20, 4)))
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(rng.normal(size=(3, 4)))
+
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(30, 8))
+        out = TSNE(perplexity=5, num_iter=120, seed=0).fit_transform(x)
+        assert out.shape == (30, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_clusters(self, rng):
+        """Two well-separated Gaussians stay separated in 2-D."""
+        x = np.vstack(
+            [rng.normal(0, 0.3, (20, 10)), rng.normal(4, 0.3, (20, 10))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        out = TSNE(perplexity=6, num_iter=250, seed=1).fit_transform(x)
+        assert silhouette_score(out, labels) > 0.4
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(25, 6))
+        a = TSNE(perplexity=5, num_iter=100, seed=3).fit_transform(x)
+        b = TSNE(perplexity=5, num_iter=100, seed=3).fit_transform(x)
+        assert np.allclose(a, b)
+
+    def test_kl_divergence_nonnegative(self, rng):
+        x = rng.normal(size=(25, 6))
+        tsne = TSNE(perplexity=5, num_iter=100, seed=0)
+        y = tsne.fit_transform(x)
+        assert tsne.kl_divergence(x, y) >= 0.0
+
+    def test_optimization_reduces_kl(self, rng):
+        x = np.vstack(
+            [rng.normal(0, 0.3, (15, 5)), rng.normal(3, 0.3, (15, 5))]
+        )
+        tsne_short = TSNE(perplexity=5, num_iter=5, seed=0)
+        tsne_long = TSNE(perplexity=5, num_iter=300, seed=0)
+        kl_short = tsne_short.kl_divergence(x, tsne_short.fit_transform(x))
+        kl_long = tsne_long.kl_divergence(x, tsne_long.fit_transform(x))
+        assert kl_long < kl_short

@@ -1,0 +1,176 @@
+"""Tests for the NN layers, including the paper's Equations 8-10."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    Encoder,
+    FeedForwardLayer,
+    Linear,
+    Module,
+    SelfAttentionLayer,
+    Sequential,
+)
+
+
+class TestModule:
+    def test_parameter_discovery_recursive(self, rng):
+        class Outer(Module):
+            def __init__(self):
+                self.child = Linear(2, 3, rng=rng)
+                self.direct = Tensor(np.ones(2), requires_grad=True)
+                self.listed = [Linear(3, 1, rng=rng)]
+
+        params = list(Outer().parameters())
+        # child weight+bias, direct, listed weight+bias
+        assert len(params) == 5
+
+    def test_duplicate_parameters_yielded_once(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                self.a = Tensor(np.ones(2), requires_grad=True)
+                self.b = self.a
+
+        assert len(list(Shared().parameters())) == 1
+
+    def test_num_parameters(self, rng):
+        lin = Linear(3, 4, rng=rng)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self, rng):
+        lin = Linear(2, 2, rng=rng)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        lin = Linear(3, 5, rng=rng)
+        out = lin(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 5)
+
+    def test_no_bias(self, rng):
+        lin = Linear(3, 5, bias=False, rng=rng)
+        assert lin.bias is None
+        assert lin(Tensor(np.zeros((2, 3)))).data.sum() == 0.0
+
+    def test_gradcheck(self, rng):
+        lin = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        gradcheck(lambda x: (lin(x) ** 2).sum(), [x])
+
+
+class TestSelfAttentionLayer:
+    """Equation (8): S(A) = softmax(A A^T / sqrt(d)) A."""
+
+    def test_output_shape_preserved(self, rng):
+        layer = SelfAttentionLayer(dim=4)
+        a = Tensor(rng.normal(size=(5, 4)))
+        assert layer(a).shape == (5, 4)
+
+    def test_matches_manual_formula(self, rng):
+        d = 3
+        a = rng.normal(size=(4, d))
+        scores = a @ a.T / math.sqrt(d)
+        expd = np.exp(scores - scores.max(axis=1, keepdims=True))
+        attn = expd / expd.sum(axis=1, keepdims=True)
+        expected = attn @ a
+        out = SelfAttentionLayer(d)(Tensor(a)).data
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_identical_rows_fixed_point(self):
+        """If every row equals v, attention rows average to v again."""
+        v = np.array([1.0, -2.0, 0.5])
+        a = Tensor(np.tile(v, (4, 1)))
+        out = SelfAttentionLayer(3)(a).data
+        assert np.allclose(out, np.tile(v, (4, 1)))
+
+    def test_parameter_free(self):
+        assert list(SelfAttentionLayer(4).parameters()) == []
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SelfAttentionLayer(4)(Tensor(rng.normal(size=(3, 5))))
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SelfAttentionLayer(0)
+
+    def test_gradcheck(self, rng):
+        layer = SelfAttentionLayer(3)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda a: (layer(a) ** 2).mean(), [a])
+
+
+class TestFeedForwardLayer:
+    """Equation (9): F(A) = relu(W A + b), W path-mixing."""
+
+    def test_shape_preserved(self, rng):
+        layer = FeedForwardLayer(4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 7))))
+        assert out.shape == (4, 7)
+
+    def test_relu_clamps_negative(self, rng):
+        layer = FeedForwardLayer(3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 5))))
+        assert (out.data >= 0).all()
+
+    def test_linear_activation_allows_negative(self, rng):
+        layer = FeedForwardLayer(3, rng=rng, activation="linear")
+        out = layer(Tensor(-np.ones((3, 5)) * 5))
+        assert (out.data < 0).any()
+
+    def test_identity_init_near_identity(self, rng):
+        layer = FeedForwardLayer(4, rng=rng)
+        a = np.abs(rng.normal(size=(4, 3))) + 1.0
+        out = layer(Tensor(a)).data
+        assert np.allclose(out, a, atol=0.3)
+
+    def test_wrong_path_len_rejected(self, rng):
+        layer = FeedForwardLayer(4, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((5, 3))))
+
+    def test_unknown_activation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FeedForwardLayer(3, rng=rng, activation="gelu")
+
+    def test_gradcheck_params(self, rng):
+        layer = FeedForwardLayer(3, rng=rng, activation="linear")
+        a = Tensor(rng.normal(size=(3, 2)))
+
+        def loss(weight, bias):
+            layer.weight, layer.bias = weight, bias
+            return (layer(a) ** 2).mean()
+
+        w = Tensor(layer.weight.data.copy(), requires_grad=True)
+        b = Tensor(layer.bias.data.copy(), requires_grad=True)
+        gradcheck(loss, [w, b])
+
+
+class TestEncoderAndSequential:
+    def test_encoder_shape(self, rng):
+        enc = Encoder(path_len=5, dim=3, rng=rng)
+        out = enc(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 3)
+
+    def test_encoder_gradcheck(self, rng):
+        enc = Encoder(path_len=3, dim=2, rng=rng)
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda a: (enc(a) ** 2).mean(), [a])
+
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(
+            FeedForwardLayer(3, rng=rng, activation="linear"),
+            FeedForwardLayer(3, rng=rng, activation="linear"),
+        )
+        assert len(seq) == 2
+        a = Tensor(rng.normal(size=(3, 2)))
+        manual = seq[1](seq[0](a))
+        assert np.allclose(seq(a).data, manual.data)

@@ -1,0 +1,67 @@
+"""Tests for Definition-6 context extraction."""
+
+import pytest
+
+from repro.graph import separate_views
+from repro.skipgram import extract_pairs, window_for_view
+
+
+class TestWindowForView:
+    def test_homo_view_window_1(self, academic):
+        views = {v.edge_type: v for v in separate_views(academic)}
+        assert window_for_view(views["citation"]) == 1
+
+    def test_heter_view_window_2(self, academic):
+        views = {v.edge_type: v for v in separate_views(academic)}
+        assert window_for_view(views["authorship"]) == 2
+
+
+class TestExtractPairs:
+    def test_window_1(self):
+        pairs = extract_pairs(["a", "b", "c"], window=1)
+        assert pairs == [
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "c"),
+            ("c", "b"),
+        ]
+
+    def test_window_2_includes_indirect(self):
+        """Definition 6 heter-view case: n_{k±2} are context nodes."""
+        pairs = set(extract_pairs(["a", "b", "c", "d"], window=2))
+        assert ("a", "c") in pairs  # indirect neighbour
+        assert ("c", "a") in pairs
+        assert ("a", "d") not in pairs  # 3 hops — out of window
+
+    def test_boundary_handling(self):
+        pairs = extract_pairs(["a", "b"], window=2)
+        assert set(pairs) == {("a", "b"), ("b", "a")}
+
+    def test_singleton_path(self):
+        assert extract_pairs(["a"], window=1) == []
+
+    def test_empty_path(self):
+        assert extract_pairs([], window=2) == []
+
+    def test_pair_count_formula(self):
+        """On a path of length r with window w, the number of ordered
+        pairs is sum_k |window(k)|."""
+        path = list(range(10))
+        for window in (1, 2, 3):
+            pairs = extract_pairs(path, window)
+            expected = sum(
+                min(len(path) - 1, k + window)
+                - max(0, k - window)
+                for k in range(len(path))
+            )
+            assert len(pairs) == expected
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            extract_pairs(["a", "b"], window=0)
+
+    def test_symmetry(self):
+        """(x, y) is a pair iff (y, x) is."""
+        pairs = set(extract_pairs(list("abcdef"), window=2))
+        for x, y in pairs:
+            assert (y, x) in pairs

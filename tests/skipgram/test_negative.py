@@ -1,0 +1,60 @@
+"""Tests for the unigram^0.75 noise distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skipgram import NoiseDistribution
+
+
+class TestValidation:
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseDistribution({}, num_nodes=3)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseDistribution({0: 1}, num_nodes=0)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseDistribution({5: 1}, num_nodes=3)
+
+    def test_wrong_array_shape_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseDistribution(np.ones(4), num_nodes=3)
+
+
+class TestDistribution:
+    def test_power_smoothing(self):
+        """count^0.75 compresses the ratio between frequent and rare."""
+        noise = NoiseDistribution({0: 16, 1: 1}, num_nodes=2)
+        probs = noise.probabilities()
+        # raw ratio 16; smoothed ratio 16^0.75 = 8
+        assert probs[0] / probs[1] == pytest.approx(8.0, rel=1e-6)
+
+    def test_power_1_is_unigram(self):
+        noise = NoiseDistribution({0: 3, 1: 1}, num_nodes=2, power=1.0)
+        probs = noise.probabilities()
+        assert probs[0] == pytest.approx(0.75)
+
+    def test_unseen_nodes_never_drawn(self, rng):
+        noise = NoiseDistribution({0: 5, 2: 5}, num_nodes=4)
+        draws = noise.sample(rng, size=5000)
+        assert set(np.unique(draws)) <= {0, 2}
+
+    def test_accepts_count_array(self, rng):
+        noise = NoiseDistribution(np.array([1.0, 0.0, 3.0]), num_nodes=3)
+        draws = noise.sample(rng, size=2000)
+        assert 1 not in set(np.unique(draws))
+
+    def test_sample_shape(self, rng):
+        noise = NoiseDistribution({0: 1, 1: 1}, num_nodes=2)
+        assert noise.sample(rng, size=17).shape == (17,)
+
+    @given(st.dictionaries(st.integers(0, 9), st.integers(1, 50), min_size=1))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_sum_to_one(self, counts):
+        noise = NoiseDistribution(counts, num_nodes=10)
+        assert noise.probabilities().sum() == pytest.approx(1.0)

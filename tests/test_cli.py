@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _load_labels, build_parser, main
+from repro.graph import load_embeddings, load_graph, save_graph
+from repro.datasets import two_view_toy
+
+
+@pytest.fixture
+def toy_files(tmp_path):
+    graph, labels = two_view_toy(num_per_side=12)
+    graph_path = tmp_path / "toy.tsv"
+    labels_path = tmp_path / "toy-labels.tsv"
+    save_graph(graph, graph_path)
+    labels_path.write_text(
+        "".join(f"{node}\t{label}\n" for node, label in labels.items())
+    )
+    return graph_path, labels_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["stats", "g.tsv"],
+            ["generate", "aminer", "--graph", "g.tsv"],
+            ["train", "g.tsv", "--out", "e.txt"],
+            ["classify", "g.tsv", "l.tsv"],
+            ["linkpred", "g.tsv"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestGenerate:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.tsv"
+        labels_path = tmp_path / "l.tsv"
+        assert main([
+            "generate", "aminer",
+            "--graph", str(graph_path),
+            "--labels", str(labels_path),
+            "--seed", "1",
+        ]) == 0
+        assert graph_path.exists()
+        loaded = load_graph(graph_path)
+        assert loaded.edge_types == {"AA", "AP", "PP", "PV"}
+        assert main(["stats", str(graph_path), "--labels", str(labels_path)]) == 0
+        out = capsys.readouterr().out
+        assert "#Nodes" in out
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "imdb", "--graph", str(tmp_path / "g.tsv")])
+
+
+class TestTrainAndEval:
+    def test_train_writes_embeddings(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        out = tmp_path / "emb.txt"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(out),
+            "--method", "transn",
+            "--dim", "8",
+            "--iterations", "1",
+        ]) == 0
+        embeddings = load_embeddings(out)
+        graph = load_graph(graph_path)
+        assert set(embeddings) == set(str(n) for n in graph.nodes)
+        assert all(v.shape == (8,) for v in embeddings.values())
+
+    def test_train_baseline(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        out = tmp_path / "emb.txt"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(out),
+            "--method", "line",
+            "--dim", "8",
+        ]) == 0
+        assert load_embeddings(out)
+
+    def test_unknown_method(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit, match="unknown method"):
+            main([
+                "train", str(graph_path),
+                "--out", str(tmp_path / "e.txt"),
+                "--method", "gnn9000",
+            ])
+
+    def test_classify(self, toy_files, capsys):
+        graph_path, labels_path = toy_files
+        assert main([
+            "classify", str(graph_path), str(labels_path),
+            "--method", "line",
+            "--dim", "8",
+            "--repeats", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "macro-F1" in out
+
+    def test_linkpred(self, toy_files, capsys):
+        graph_path, _ = toy_files
+        assert main([
+            "linkpred", str(graph_path),
+            "--method", "line",
+            "--dim", "8",
+            "--removal", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AUC" in out
+
+
+class TestLabelsParsing:
+    def test_malformed_labels(self, tmp_path):
+        path = tmp_path / "l.tsv"
+        path.write_text("just_a_node_without_label\n")
+        with pytest.raises(SystemExit):
+            _load_labels(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "l.tsv"
+        path.write_text("# comment\na\t1\n\nb\t2\n")
+        assert _load_labels(path) == {"a": "1", "b": "2"}

@@ -1,0 +1,140 @@
+"""Cross-cutting property-based tests on randomly generated typed graphs.
+
+These tie the substrates together: whatever typed multigraph hypothesis
+constructs, view separation must partition it, walkers must respect it,
+serialization must round-trip it, and TransN must train on it without
+blowing up.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransN, TransNConfig
+from repro.graph import (
+    HeteroGraph,
+    load_graph,
+    save_graph,
+    separate_views,
+)
+from repro.walks import BiasedCorrelatedWalker, UniformWalker
+
+SMOKE_CONFIG = TransNConfig(
+    dim=4,
+    walk_length=6,
+    walk_floor=1,
+    walk_cap=2,
+    num_iterations=1,
+    cross_path_len=3,
+    cross_paths_per_pair=4,
+    num_encoders=1,
+    batch_size=32,
+)
+
+
+@st.composite
+def typed_graphs(draw):
+    """Connected-ish random typed weighted multigraphs."""
+    num_nodes = draw(st.integers(min_value=4, max_value=14))
+    num_types = draw(st.integers(min_value=1, max_value=3))
+    node_types = {
+        f"n{i}": f"t{draw(st.integers(0, num_types - 1))}"
+        for i in range(num_nodes)
+    }
+    edges = []
+    # a spine so most nodes have edges
+    for i in range(num_nodes - 1):
+        etype = f"e{draw(st.integers(0, 1))}"
+        weight = draw(st.floats(min_value=0.1, max_value=9.0, allow_nan=False))
+        edges.append((f"n{i}", f"n{i + 1}", etype, weight))
+    extra = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(extra):
+        u = draw(st.integers(0, num_nodes - 1))
+        v = draw(st.integers(0, num_nodes - 1))
+        if u == v:
+            continue
+        etype = f"e{draw(st.integers(0, 2))}"
+        weight = draw(st.floats(min_value=0.1, max_value=9.0, allow_nan=False))
+        edges.append((f"n{u}", f"n{v}", etype, weight))
+    return HeteroGraph.from_edges(edges, node_types)
+
+
+class TestGraphProperties:
+    @given(typed_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_round_trip(self, graph):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.tsv"
+            self._round_trip(graph, path)
+
+    @staticmethod
+    def _round_trip(graph, path):
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        for orig, new in zip(graph.edges, loaded.edges):
+            assert (str(orig.u), str(orig.v)) == (new.u, new.v)
+            assert orig.weight == new.weight
+
+    @given(typed_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_degree_sum_is_twice_edges(self, graph):
+        total = sum(graph.degree(n) for n in graph.nodes)
+        assert total == 2 * graph.num_edges
+
+
+class TestWalkerProperties:
+    @given(typed_graphs(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_walks_stay_inside_their_view(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        for view in separate_views(graph):
+            walker = BiasedCorrelatedWalker(view, rng=rng)
+            start = next(iter(view.graph.nodes))
+            walk = walker.walk(start, 8)
+            for node in walk:
+                assert view.graph.has_node(node)
+            for a, b in zip(walk, walk[1:]):
+                assert view.graph.has_edge(a, b)
+
+    @given(typed_graphs(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_walks_valid(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        walker = UniformWalker(graph, rng=rng)
+        start = next(iter(graph.nodes))
+        walk = walker.walk(start, 8)
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(a, b)
+
+    @given(typed_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_step_distribution_normalized(self, graph):
+        rng = np.random.default_rng(0)
+        for view in separate_views(graph):
+            walker = BiasedCorrelatedWalker(view, rng=rng)
+            for node in list(view.graph.nodes)[:3]:
+                dist = walker.step_distribution(node, previous_weight=1.0)
+                if dist:
+                    assert abs(sum(dist.values()) - 1.0) < 1e-9
+                    assert all(p >= 0 for p in dist.values())
+
+
+class TestTransNProperties:
+    @given(typed_graphs(), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_trains_on_arbitrary_typed_graphs(self, graph, seed):
+        """TransN must handle whatever view structure hypothesis built:
+        any mix of homo/heter views, any overlap pattern."""
+        config = TransNConfig(**{**SMOKE_CONFIG.__dict__, "seed": seed})
+        model = TransN(graph, config)
+        model.fit()
+        embeddings = model.embeddings()
+        assert set(embeddings) == set(graph.nodes)
+        for vector in embeddings.values():
+            assert vector.shape == (config.dim,)
+            assert np.isfinite(vector).all()

@@ -1,0 +1,96 @@
+"""Tests for the SVG scatter renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz import render_scatter_svg, save_scatter_svg
+
+
+@pytest.fixture
+def cloud(rng):
+    points = rng.normal(size=(30, 2))
+    labels = [f"cat{k % 3}" for k in range(30)]
+    return points, labels
+
+
+class TestRenderScatterSvg:
+    def test_valid_svg_envelope(self, cloud):
+        points, labels = cloud
+        svg = render_scatter_svg(points, labels, title="demo")
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+        assert "demo" in svg
+
+    def test_one_circle_per_point_plus_legend(self, cloud):
+        points, labels = cloud
+        svg = render_scatter_svg(points, labels)
+        assert svg.count("<circle") == 30 + 3  # points + legend markers
+
+    def test_categories_get_distinct_colors(self, cloud):
+        points, labels = cloud
+        svg = render_scatter_svg(points, labels)
+        used = {
+            part.split('"')[0]
+            for part in svg.split('fill="')[1:]
+            if part.startswith("#")
+        }
+        assert len(used) >= 3
+
+    def test_names_become_titles(self, cloud):
+        points, labels = cloud
+        names = [f"node{k}" for k in range(30)]
+        svg = render_scatter_svg(points, labels, names=names)
+        assert "<title>node0 (cat0)</title>" in svg
+
+    def test_xml_escaping(self, rng):
+        points = rng.normal(size=(4, 2))
+        labels = ["a<b"] * 4
+        svg = render_scatter_svg(points, labels, title="x & y")
+        assert "a&lt;b" in svg
+        assert "x &amp; y" in svg
+        assert "a<b" not in svg
+
+    def test_degenerate_coordinates(self):
+        """All points identical must not divide by zero."""
+        points = np.ones((5, 2))
+        svg = render_scatter_svg(points, ["c"] * 5)
+        assert "NaN" not in svg and "nan" not in svg
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            render_scatter_svg(rng.normal(size=(4, 3)), ["a"] * 4)
+        with pytest.raises(ValueError):
+            render_scatter_svg(rng.normal(size=(4, 2)), ["a"] * 3)
+        with pytest.raises(ValueError):
+            render_scatter_svg(
+                rng.normal(size=(4, 2)), ["a"] * 4, names=["n"] * 3
+            )
+
+    def test_save(self, cloud, tmp_path):
+        points, labels = cloud
+        path = tmp_path / "fig.svg"
+        save_scatter_svg(path, points, labels)
+        assert path.read_text().startswith("<svg ")
+
+
+class TestFigure6Integration:
+    def test_renders_case_study_projection(self, rng):
+        """End to end: case-study output -> SVG figure."""
+        from repro.eval import run_case_study
+
+        embeddings = {}
+        labels = {}
+        for c in range(3):
+            center = rng.normal(size=8) * 3
+            for k in range(12):
+                node = f"c{c}n{k}"
+                embeddings[node] = center + rng.normal(0, 0.2, size=8)
+                labels[node] = c
+        result = run_case_study(embeddings, labels, per_category=10, seed=0)
+        svg = render_scatter_svg(
+            result.projection,
+            result.labels,
+            names=result.nodes,
+            title="Figure 6 (reproduction)",
+        )
+        assert svg.count("<circle") >= len(result.nodes)

@@ -1,0 +1,91 @@
+"""Tests for corpus building, filtering and chunking."""
+
+import numpy as np
+import pytest
+
+from repro.graph import separate_views
+from repro.walks import BiasedCorrelatedWalker, UniformWalker, build_corpus
+from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
+
+
+class TestBuildCorpus:
+    def test_respects_policy(self, academic, rng):
+        view = separate_views(academic)[1]  # authorship
+        walker = UniformWalker(view, rng=rng)
+        corpus = build_corpus(view, walker, length=5, floor=2, cap=4, rng=rng)
+        # every view node has degree in [1, 5]; counts in [2, 4]
+        assert 2 * view.num_nodes <= len(corpus) <= 4 * view.num_nodes
+        assert corpus.length == 5
+
+    def test_override_count(self, academic, rng):
+        view = separate_views(academic)[1]
+        walker = UniformWalker(view, rng=rng)
+        corpus = build_corpus(
+            view, walker, length=4, walks_per_node_override=3, rng=rng
+        )
+        assert len(corpus) == 3 * view.num_nodes
+
+    def test_isolated_nodes_skipped(self, rng):
+        from repro.graph import HeteroGraph
+
+        g = HeteroGraph.from_edges(
+            [("a", "b", "e", 1.0)], {"a": "t", "b": "t", "iso": "t"}
+        )
+        walker = UniformWalker(g, rng=rng)
+        corpus = build_corpus(g, walker, length=3, walks_per_node_override=2, rng=rng)
+        for walk in corpus:
+            assert "iso" not in walk
+
+    def test_length_validation(self, academic, rng):
+        view = separate_views(academic)[0]
+        walker = UniformWalker(view, rng=rng)
+        with pytest.raises(ValueError):
+            build_corpus(view, walker, length=1, rng=rng)
+
+    def test_node_frequencies(self):
+        corpus = WalkCorpus([["a", "b", "a"], ["b", "c"]], 3)
+        assert corpus.node_frequencies() == {"a": 2, "b": 2, "c": 1}
+
+
+class TestFilterToNodes:
+    def test_removes_non_kept(self):
+        corpus = WalkCorpus([["a", "x", "b", "y", "c"]], 5)
+        out = filter_to_nodes(corpus, {"a", "b", "c"})
+        assert out.walks == [["a", "b", "c"]]
+
+    def test_drops_short_paths(self):
+        corpus = WalkCorpus([["a", "x"], ["x", "y", "z"]], 3)
+        out = filter_to_nodes(corpus, {"a"}, min_length=2)
+        assert out.walks == []
+
+    def test_min_length_kept(self):
+        corpus = WalkCorpus([["a", "b", "x"]], 3)
+        out = filter_to_nodes(corpus, {"a", "b"}, min_length=2)
+        assert out.walks == [["a", "b"]]
+
+
+class TestChunkPaths:
+    def test_exact_chunks(self):
+        corpus = WalkCorpus([[1, 2, 3, 4, 5, 6]], 6)
+        chunks = chunk_paths(corpus, 3)
+        assert chunks == [[1, 2, 3], [4, 5, 6]]
+
+    def test_remainder_dropped(self):
+        corpus = WalkCorpus([[1, 2, 3, 4, 5]], 5)
+        chunks = chunk_paths(corpus, 3)
+        assert chunks == [[1, 2, 3]]
+
+    def test_too_short_path_yields_nothing(self):
+        corpus = WalkCorpus([[1, 2]], 2)
+        assert chunk_paths(corpus, 3) == []
+
+    def test_invalid_chunk_length(self):
+        with pytest.raises(ValueError):
+            chunk_paths(WalkCorpus([[1, 2]], 2), 1)
+
+    def test_all_chunks_uniform_length(self, academic, rng):
+        view = separate_views(academic)[1]
+        walker = BiasedCorrelatedWalker(view, rng=rng)
+        corpus = build_corpus(view, walker, length=9, floor=2, cap=2, rng=rng)
+        for chunk in chunk_paths(corpus, 4):
+            assert len(chunk) == 4

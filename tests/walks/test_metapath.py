@@ -1,0 +1,70 @@
+"""Tests for the metapath-constrained walker."""
+
+import pytest
+
+from repro.walks import MetapathWalker
+
+
+class TestValidation:
+    def test_too_short(self, academic, rng):
+        with pytest.raises(ValueError):
+            MetapathWalker(academic, ["author"], rng=rng)
+
+    def test_not_cyclic(self, academic, rng):
+        with pytest.raises(ValueError, match="cyclic"):
+            MetapathWalker(academic, ["author", "paper"], rng=rng)
+
+    def test_unknown_type(self, academic, rng):
+        with pytest.raises(ValueError, match="unknown node types"):
+            MetapathWalker(academic, ["alien", "paper", "alien"], rng=rng)
+
+    def test_wrong_start_type(self, academic, rng):
+        walker = MetapathWalker(
+            academic, ["author", "paper", "author"], rng=rng
+        )
+        with pytest.raises(ValueError, match="metapath starts"):
+            walker.walk("P1", 5)
+
+
+class TestWalks:
+    def test_type_sequence_follows_pattern(self, academic, rng):
+        walker = MetapathWalker(
+            academic, ["author", "paper", "author"], rng=rng
+        )
+        walk = walker.walk("A1", 9)
+        expected_types = ["author", "paper"] * 5
+        for node, expected in zip(walk, expected_types):
+            assert academic.node_type(node) == expected
+
+    def test_longer_pattern(self, academic, rng):
+        walker = MetapathWalker(
+            academic,
+            ["author", "paper", "paper", "author", "author"],
+            rng=rng,
+        )
+        walk = walker.walk("A1", 8)
+        pattern = ["author", "paper", "paper", "author"]
+        for k, node in enumerate(walk):
+            assert academic.node_type(node) == pattern[k % 4]
+
+    def test_stops_when_no_typed_neighbor(self, academic, rng):
+        # university nodes have no paper neighbours
+        walker = MetapathWalker(
+            academic, ["university", "paper", "university"], rng=rng
+        )
+        walk = walker.walk("U1", 6)
+        assert walk == ["U1"]
+
+    def test_start_nodes(self, academic, rng):
+        walker = MetapathWalker(
+            academic, ["paper", "author", "paper"], rng=rng
+        )
+        assert sorted(walker.start_nodes()) == ["P1", "P2"]
+
+    def test_edges_exist(self, academic, rng):
+        walker = MetapathWalker(
+            academic, ["author", "paper", "author"], rng=rng
+        )
+        walk = walker.walk("A2", 7)
+        for u, v in zip(walk, walk[1:]):
+            assert academic.has_edge(u, v)

@@ -1,0 +1,40 @@
+"""Tests for the walk-count policy max(min(degree, cap), floor)."""
+
+import pytest
+
+from repro.graph import HeteroGraph
+from repro.walks import walks_per_node
+
+
+@pytest.fixture
+def star():
+    g = HeteroGraph()
+    g.add_node("hub", "t")
+    for k in range(40):
+        g.add_node(f"leaf{k}", "t")
+        g.add_edge("hub", f"leaf{k}", "e")
+    return g
+
+
+class TestWalksPerNode:
+    def test_hub_capped(self, star):
+        assert walks_per_node(star, "hub", floor=10, cap=32) == 32
+
+    def test_leaf_floored(self, star):
+        assert walks_per_node(star, "leaf0", floor=10, cap=32) == 10
+
+    def test_mid_degree_passthrough(self, star):
+        # degree 40 hub with wide bounds
+        assert walks_per_node(star, "hub", floor=1, cap=100) == 40
+
+    def test_paper_defaults(self, star):
+        assert walks_per_node(star, "hub") == 32
+        assert walks_per_node(star, "leaf3") == 10
+
+    def test_invalid_floor(self, star):
+        with pytest.raises(ValueError):
+            walks_per_node(star, "hub", floor=0)
+
+    def test_cap_below_floor(self, star):
+        with pytest.raises(ValueError):
+            walks_per_node(star, "hub", floor=10, cap=5)

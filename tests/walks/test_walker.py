@@ -1,0 +1,163 @@
+"""Tests for the uniform and biased-correlated walkers (Eqs. 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HeteroGraph, separate_views
+from repro.walks import BiasedCorrelatedWalker, UniformWalker
+
+
+@pytest.fixture
+def rating_view(book_view):
+    """The Figure 4 book-rating view as a View object."""
+    return separate_views(book_view)[0]
+
+
+class TestUniformWalker:
+    def test_walk_length(self, rating_view, rng):
+        walker = UniformWalker(rating_view, rng=rng)
+        walk = walker.walk("R1", 7)
+        assert len(walk) == 7
+        assert walk[0] == "R1"
+
+    def test_walk_follows_edges(self, rating_view, rng):
+        walker = UniformWalker(rating_view, rng=rng)
+        graph = rating_view.graph
+        walk = walker.walk("B2", 20)
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_isolated_node_stops(self, rng):
+        g = HeteroGraph()
+        g.add_node("lonely", "t")
+        g.add_node("a", "t")
+        g.add_node("b", "t")
+        g.add_edge("a", "b", "e")
+        walker = UniformWalker(g, rng=rng)
+        assert walker.walk("lonely", 5) == ["lonely"]
+
+    def test_ignores_weights(self, rng):
+        """A uniform walker picks neighbours equally despite weights."""
+        g = HeteroGraph()
+        for n in ("c", "h", "l"):
+            g.add_node(n, "t")
+        g.add_edge("c", "h", "e", weight=1000.0)
+        g.add_edge("c", "l", "e", weight=0.001)
+        walker = UniformWalker(g, rng=rng)
+        firsts = [walker.walk("c", 2)[1] for _ in range(2000)]
+        share_heavy = sum(1 for f in firsts if f == "h") / len(firsts)
+        assert 0.45 < share_heavy < 0.55
+
+
+class TestBiasedWalkerPi1:
+    """Equation (6): step probability proportional to edge weight."""
+
+    def test_first_step_distribution(self, rating_view, rng):
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        dist = walker.step_distribution("R1")
+        # R1 has edges: B1 (4.0), B2 (2.0)
+        assert dist["B1"] == pytest.approx(4.0 / 6.0)
+        assert dist["B2"] == pytest.approx(2.0 / 6.0)
+
+    def test_empirical_first_step(self, rating_view, rng):
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        firsts = [walker.walk("R1", 2)[1] for _ in range(4000)]
+        share_b1 = sum(1 for f in firsts if f == "B1") / len(firsts)
+        assert abs(share_b1 - 4.0 / 6.0) < 0.03
+
+    def test_walk_validity(self, rating_view, rng):
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        graph = rating_view.graph
+        walk = walker.walk("R2", 15)
+        assert len(walk) == 15
+        for a, b in zip(walk, walk[1:]):
+            assert graph.has_edge(a, b)
+
+
+class TestCorrelatedWalkerPi2:
+    """Equation (7): prefer a next weight close to the previous weight."""
+
+    def test_figure_4_example(self, rating_view, rng):
+        """Arriving at B2 with weight 2 (from R1), the walker prefers R3
+        (weight 1, similar) over R2 (weight 5, dissimilar) relative to
+        the weight-only distribution."""
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        pi1_only = walker.step_distribution("B2")
+        with_pi2 = walker.step_distribution("B2", previous_weight=2.0)
+        # pi1 prefers R2 (5 > 1); pi2 shifts mass toward R3
+        assert with_pi2["R3"] > pi1_only["R3"]
+        assert with_pi2["R2"] < pi1_only["R2"]
+        # R3's relative advantage over R2 grows
+        assert (with_pi2["R3"] / with_pi2["R2"]) > (
+            pi1_only["R3"] / pi1_only["R2"]
+        )
+
+    def test_pi2_formula_exact(self, rating_view):
+        """Hand-computed Equation 4 'otherwise' branch at B2, prev w=2.
+        B2's incident weights: R1=2, R2=5, R3=1; Delta = 4."""
+        walker = BiasedCorrelatedWalker(rating_view, rng=np.random.default_rng(0))
+        dist = walker.step_distribution("B2", previous_weight=2.0)
+        w = {"R1": 2.0, "R2": 5.0, "R3": 1.0}
+        total_w = sum(w.values())
+        delta = 4.0
+        raw = {
+            n: (w[n] / total_w) * max(1.0 - (w[n] - 2.0) / delta, 1e-9)
+            for n in w
+        }
+        z = sum(raw.values())
+        for n in w:
+            assert dist[n] == pytest.approx(raw[n] / z, rel=1e-9)
+
+    def test_delta_zero_falls_back_to_pi1(self, rng):
+        """Equal incident weights (Delta=0) -> pure Equation 6."""
+        g = HeteroGraph()
+        for n in ("a", "b"):
+            g.add_node(n, "t1")
+        for n in ("x", "y"):
+            g.add_node(n, "t2")
+        g.add_edge("x", "a", "e", weight=2.0)
+        g.add_edge("x", "b", "e", weight=2.0)
+        g.add_edge("y", "a", "e", weight=2.0)
+        view = separate_views(g)[0]
+        walker = BiasedCorrelatedWalker(view, rng=rng)
+        dist = walker.step_distribution("x", previous_weight=7.0)
+        assert dist["a"] == pytest.approx(0.5)
+        assert dist["b"] == pytest.approx(0.5)
+
+    def test_correlated_only_on_heter_views(self, triangle, rng):
+        """On a homo-view the previous weight is ignored (Equation 4)."""
+        view = separate_views(triangle)[0]
+        assert view.is_homo
+        walker = BiasedCorrelatedWalker(view, rng=rng)
+        assert not walker.correlated
+        plain = walker.step_distribution("y")
+        with_prev = walker.step_distribution("y", previous_weight=1.0)
+        assert plain == with_prev
+
+    def test_correlation_override(self, triangle, rng):
+        walker = BiasedCorrelatedWalker(
+            separate_views(triangle)[0], rng=rng, correlated=True
+        )
+        assert walker.correlated
+
+    def test_distribution_sums_to_one(self, rating_view, rng):
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        for prev in (None, 1.0, 3.0, 5.0):
+            dist = walker.step_distribution("B2", previous_weight=prev)
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_empirical_matches_exact(self, rating_view):
+        """Monte-Carlo check of the correlated second step from R1."""
+        rng = np.random.default_rng(7)
+        walker = BiasedCorrelatedWalker(rating_view, rng=rng)
+        # force the first step to B2 by conditioning on observed walks
+        counts = {}
+        trials = 0
+        for _ in range(20000):
+            walk = walker.walk("R1", 3)
+            if len(walk) >= 3 and walk[1] == "B2":
+                counts[walk[2]] = counts.get(walk[2], 0) + 1
+                trials += 1
+        expected = walker.step_distribution("B2", previous_weight=2.0)
+        for node, count in counts.items():
+            assert abs(count / trials - expected[node]) < 0.03
