@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.engine import Callback, LoopResult, Phase, TrainingLoop
 from repro.graph.heterograph import HeteroGraph, NodeId
 
 Embeddings = dict[NodeId, np.ndarray]
@@ -19,6 +20,11 @@ class EmbeddingMethod(ABC):
     that cannot embed some nodes — e.g. Metapath2Vec for off-path types —
     return zero vectors for them, which is what running the original code
     and filling gaps would give the downstream classifier).
+
+    Methods that train through :meth:`_run_loop` (all SGNS-style methods)
+    honour :attr:`callbacks` — engine hooks attached before ``fit`` — and
+    record the engine's :class:`~repro.engine.LoopResult` (loss history,
+    per-phase timings) in :attr:`last_run_`.
     """
 
     name: str = "unnamed"
@@ -28,10 +34,18 @@ class EmbeddingMethod(ABC):
             raise ValueError("dim must be >= 1")
         self.dim = dim
         self.seed = seed
+        self.callbacks: list[Callback] = []
+        self.last_run_: LoopResult | None = None
 
     @abstractmethod
     def fit(self, graph: HeteroGraph) -> Embeddings:
         """Train on ``graph`` and return an embedding per node."""
+
+    def _run_loop(self, phases: list[Phase], num_epochs: int) -> LoopResult:
+        """Run an engine loop with this method's callbacks attached."""
+        loop = TrainingLoop(phases, callbacks=self.callbacks)
+        self.last_run_ = loop.run(num_epochs)
+        return self.last_run_
 
     # ------------------------------------------------------------------
     # helpers shared by subclasses

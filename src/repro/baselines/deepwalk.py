@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
-from repro.skipgram import NoiseDistribution, SkipGramTrainer, extract_pairs
+from repro.skipgram import SkipGramTrainer
 from repro.walks import UniformWalker, build_corpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
@@ -52,70 +51,23 @@ class DeepWalk(EmbeddingMethod):
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
         walker = UniformWalker(graph, rng=rng)
-        noise: NoiseDistribution | None = None
-        for _ in range(self.epochs):
-            corpus = build_corpus(
+        pipeline = CorpusPipeline(
+            sample_corpus=lambda: build_corpus(
                 graph,
                 walker,
                 length=self.walk_length,
                 walks_per_node_override=self.walks_per_node,
                 rng=rng,
-            )
-            if noise is None:
-                counts = np.zeros(graph.num_nodes)
-                for node, count in corpus.node_frequencies().items():
-                    counts[graph.index_of(node)] = count
-                noise = NoiseDistribution(counts, graph.num_nodes)
-            centers, contexts = _pairs_to_indices(graph, corpus, self.window)
-            _sgns_epoch(
-                trainer,
-                centers,
-                contexts,
-                noise,
-                rng,
-                self.num_negatives,
-                self.lr,
-                self.batch_size,
-            )
-        return self._as_dict(graph, matrix)
-
-
-def _pairs_to_indices(graph: HeteroGraph, corpus, window: int):
-    """Flatten a corpus into (center, context) index arrays."""
-    centers: list[int] = []
-    contexts: list[int] = []
-    for walk in corpus:
-        for center, context in extract_pairs(walk, window):
-            centers.append(graph.index_of(center))
-            contexts.append(graph.index_of(context))
-    return (
-        np.asarray(centers, dtype=np.int64),
-        np.asarray(contexts, dtype=np.int64),
-    )
-
-
-def _sgns_epoch(
-    trainer: SkipGramTrainer,
-    centers: np.ndarray,
-    contexts: np.ndarray,
-    noise: NoiseDistribution,
-    rng: np.random.Generator,
-    num_negatives: int,
-    lr: float,
-    batch_size: int,
-) -> float:
-    """Shared minibatched SGNS pass used by all walk-based baselines."""
-    if centers.size == 0:
-        return 0.0
-    total, batches = 0.0, 0
-    for start in range(0, centers.size, batch_size):
-        end = min(start + batch_size, centers.size)
-        negatives = noise.sample(rng, size=(end - start) * num_negatives)
-        total += trainer.train_batch(
-            centers[start:end],
-            contexts[start:end],
-            negatives.reshape(end - start, num_negatives),
-            lr=lr,
+            ),
+            index_of=graph.index_of,
+            num_nodes=graph.num_nodes,
+            window=self.window,
+            num_negatives=self.num_negatives,
+            batch_size=self.batch_size,
+            rng=rng,
         )
-        batches += 1
-    return total / batches
+        self._run_loop(
+            [SkipGramPhase("sgns", pipeline, trainer, lr=self.lr)],
+            self.epochs,
+        )
+        return self._as_dict(graph, matrix)

@@ -4,16 +4,15 @@ Edge sampling: edges are drawn with probability proportional to weight
 (alias table); for a drawn edge (u, v), u's vertex embedding and v's
 *context* embedding are pushed together against negative contexts drawn
 from the degree^0.75 distribution — exactly the SGNS update, with edges
-in place of walk pairs.
+in place of walk pairs.  The draw→batch→update chain runs through the
+engine's :class:`~repro.engine.EdgeSamplingPipeline`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.graph.alias import AliasSampler
+from repro.engine import EdgeSamplingPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
-from repro.skipgram import NoiseDistribution, SkipGramTrainer
+from repro.skipgram import SkipGramTrainer
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
@@ -39,39 +38,20 @@ class LINE(EmbeddingMethod):
         self.batch_size = batch_size
 
     def fit(self, graph: HeteroGraph) -> Embeddings:
+        if not graph.edges:
+            raise ValueError("LINE needs at least one edge")
         rng = self._rng()
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
-
-        edges = graph.edges
-        if not edges:
-            raise ValueError("LINE needs at least one edge")
-        edge_sampler = AliasSampler([e.weight for e in edges])
-        # each undirected edge yields both directions
-        sources = np.array(
-            [graph.index_of(e.u) for e in edges], dtype=np.int64
+        pipeline = EdgeSamplingPipeline(
+            graph,
+            num_samples=self.num_samples,
+            num_negatives=self.num_negatives,
+            batch_size=self.batch_size,
+            rng=rng,
         )
-        targets = np.array(
-            [graph.index_of(e.v) for e in edges], dtype=np.int64
+        # one epoch streams all num_samples edge draws
+        self._run_loop(
+            [SkipGramPhase("edges", pipeline, trainer, lr=self.lr)], 1
         )
-        degrees = np.array(
-            [graph.weighted_degree(n) for n in graph.nodes], dtype=np.float64
-        )
-        noise = NoiseDistribution(degrees, graph.num_nodes)
-
-        drawn = 0
-        while drawn < self.num_samples:
-            batch = min(self.batch_size, self.num_samples - drawn)
-            picks = np.asarray(edge_sampler.sample(rng, size=batch))
-            flip = rng.random(batch) < 0.5
-            centers = np.where(flip, sources[picks], targets[picks])
-            contexts = np.where(flip, targets[picks], sources[picks])
-            negatives = noise.sample(rng, size=batch * self.num_negatives)
-            trainer.train_batch(
-                centers,
-                contexts,
-                negatives.reshape(batch, self.num_negatives),
-                lr=self.lr,
-            )
-            drawn += batch
         return self._as_dict(graph, matrix)

@@ -8,15 +8,13 @@ is the behaviour of the original implementation followed by gap-filling.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.graph.heterograph import HeteroGraph
-from repro.skipgram import NoiseDistribution, SkipGramTrainer
+from repro.engine import CorpusPipeline, SkipGramPhase
+from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.skipgram import SkipGramTrainer
 from repro.walks import MetapathWalker
 from repro.walks.corpus import WalkCorpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
-from repro.baselines.deepwalk import _pairs_to_indices, _sgns_epoch
 
 
 class Metapath2Vec(EmbeddingMethod):
@@ -57,9 +55,9 @@ class Metapath2Vec(EmbeddingMethod):
             raise ValueError(
                 f"no nodes of type {self.metapath[0]!r} to start walks from"
             )
-        noise: NoiseDistribution | None = None
-        visited: set = set()
-        for _ in range(self.epochs):
+        visited: set[NodeId] = set()
+
+        def sample_corpus() -> WalkCorpus:
             walks = []
             for node in starts:
                 for _ in range(self.walks_per_node):
@@ -67,23 +65,21 @@ class Metapath2Vec(EmbeddingMethod):
                     if len(walk) >= 2:
                         walks.append(walk)
                         visited.update(walk)
-            corpus = WalkCorpus(walks, self.walk_length)
-            if noise is None:
-                counts = np.zeros(graph.num_nodes)
-                for node, count in corpus.node_frequencies().items():
-                    counts[graph.index_of(node)] = count
-                noise = NoiseDistribution(counts, graph.num_nodes)
-            centers, contexts = _pairs_to_indices(graph, corpus, self.window)
-            _sgns_epoch(
-                trainer,
-                centers,
-                contexts,
-                noise,
-                rng,
-                self.num_negatives,
-                self.lr,
-                self.batch_size,
-            )
+            return WalkCorpus(walks, self.walk_length)
+
+        pipeline = CorpusPipeline(
+            sample_corpus=sample_corpus,
+            index_of=graph.index_of,
+            num_nodes=graph.num_nodes,
+            window=self.window,
+            num_negatives=self.num_negatives,
+            batch_size=self.batch_size,
+            rng=rng,
+        )
+        self._run_loop(
+            [SkipGramPhase("sgns", pipeline, trainer, lr=self.lr)],
+            self.epochs,
+        )
         # zero out never-visited nodes: the metapath cannot embed them
         for node in graph.nodes:
             if node not in visited:

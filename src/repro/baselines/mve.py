@@ -8,19 +8,24 @@ consensus the plain average.  Views are separated by edge type (the same
 separation TransN uses) so MVE can run on multi-node-type networks here;
 its published form assumes a single node type, which is the limitation
 Section I discusses.
+
+Each view is one :class:`~repro.engine.SkipGramPhase` and the consensus
+pull a trailing :class:`~repro.engine.CallablePhase` of the same engine
+loop, so MVE's per-view losses and timings are observable like any other
+method's.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import CallablePhase, CorpusPipeline, Phase, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
-from repro.graph.views import separate_views
-from repro.skipgram import NoiseDistribution, SkipGramTrainer, extract_pairs
+from repro.graph.views import View, separate_views
+from repro.skipgram import SkipGramTrainer
 from repro.walks import UniformWalker, build_corpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
-from repro.baselines.deepwalk import _sgns_epoch
 
 
 class MVE(EmbeddingMethod):
@@ -51,6 +56,26 @@ class MVE(EmbeddingMethod):
         self.consensus_pull = consensus_pull
         self.batch_size = batch_size
 
+    def _view_pipeline(
+        self, view: View, rng: np.random.Generator
+    ) -> CorpusPipeline:
+        walker = UniformWalker(view, rng=rng)
+        return CorpusPipeline(
+            sample_corpus=lambda: build_corpus(
+                view,
+                walker,
+                length=self.walk_length,
+                walks_per_node_override=self.walks_per_node,
+                rng=rng,
+            ),
+            index_of=view.graph.index_of,
+            num_nodes=view.num_nodes,
+            window=self.window,
+            num_negatives=self.num_negatives,
+            batch_size=self.batch_size,
+            rng=rng,
+        )
+
     def fit(self, graph: HeteroGraph) -> Embeddings:
         rng = self._rng()
         views = separate_views(graph)
@@ -61,8 +86,6 @@ class MVE(EmbeddingMethod):
             v.edge_type: SkipGramTrainer(view_emb[v.edge_type], rng=rng)
             for v in views
         }
-        walkers = {v.edge_type: UniformWalker(v, rng=rng) for v in views}
-        noises: dict[str, NoiseDistribution] = {}
 
         consensus = np.zeros((graph.num_nodes, self.dim))
         counts = np.zeros(graph.num_nodes)
@@ -70,37 +93,7 @@ class MVE(EmbeddingMethod):
             for node in view.graph.nodes:
                 counts[graph.index_of(node)] += 1
 
-        for _ in range(self.epochs):
-            for view in views:
-                key = view.edge_type
-                corpus = build_corpus(
-                    view,
-                    walkers[key],
-                    length=self.walk_length,
-                    walks_per_node_override=self.walks_per_node,
-                    rng=rng,
-                )
-                if key not in noises:
-                    freq = np.zeros(view.num_nodes)
-                    for node, count in corpus.node_frequencies().items():
-                        freq[view.graph.index_of(node)] = count
-                    noises[key] = NoiseDistribution(freq, view.num_nodes)
-                centers, contexts = [], []
-                index_of = view.graph.index_of
-                for walk in corpus:
-                    for center, context in extract_pairs(walk, self.window):
-                        centers.append(index_of(center))
-                        contexts.append(index_of(context))
-                _sgns_epoch(
-                    trainers[key],
-                    np.asarray(centers, dtype=np.int64),
-                    np.asarray(contexts, dtype=np.int64),
-                    noises[key],
-                    rng,
-                    self.num_negatives,
-                    self.lr,
-                    self.batch_size,
-                )
+        def consensus_step(loop, epoch) -> dict[str, float]:
             # consensus = equal-weight average of view embeddings
             consensus[:] = 0.0
             for view in views:
@@ -112,10 +105,26 @@ class MVE(EmbeddingMethod):
             nonzero = counts > 0
             consensus[nonzero] /= counts[nonzero, None]
             # pull every view embedding toward the consensus
+            shift = 0.0
             for view in views:
                 matrix = view_emb[view.edge_type]
                 for node in view.graph.nodes:
                     i = view.graph.index_of(node)
                     g = graph.index_of(node)
-                    matrix[i] += self.consensus_pull * (consensus[g] - matrix[i])
+                    delta = self.consensus_pull * (consensus[g] - matrix[i])
+                    matrix[i] += delta
+                    shift += float(np.abs(delta).sum())
+            return {"shift": shift}
+
+        phases: list[Phase] = [
+            SkipGramPhase(
+                f"view:{view.edge_type}",
+                self._view_pipeline(view, rng),
+                trainers[view.edge_type],
+                lr=self.lr,
+            )
+            for view in views
+        ]
+        phases.append(CallablePhase("consensus", consensus_step))
+        self._run_loop(phases, self.epochs)
         return self._as_dict(graph, consensus)

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
-from repro.skipgram import NoiseDistribution, SkipGramTrainer
+from repro.skipgram import SkipGramTrainer
 from repro.walks import Node2VecWalker, build_corpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
-from repro.baselines.deepwalk import _pairs_to_indices, _sgns_epoch
 
 
 class Node2Vec(EmbeddingMethod):
@@ -47,29 +45,23 @@ class Node2Vec(EmbeddingMethod):
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
         walker = Node2VecWalker(graph, p=self.p, q=self.q, rng=rng)
-        noise: NoiseDistribution | None = None
-        for _ in range(self.epochs):
-            corpus = build_corpus(
+        pipeline = CorpusPipeline(
+            sample_corpus=lambda: build_corpus(
                 graph,
                 walker,
                 length=self.walk_length,
                 walks_per_node_override=self.walks_per_node,
                 rng=rng,
-            )
-            if noise is None:
-                counts = np.zeros(graph.num_nodes)
-                for node, count in corpus.node_frequencies().items():
-                    counts[graph.index_of(node)] = count
-                noise = NoiseDistribution(counts, graph.num_nodes)
-            centers, contexts = _pairs_to_indices(graph, corpus, self.window)
-            _sgns_epoch(
-                trainer,
-                centers,
-                contexts,
-                noise,
-                rng,
-                self.num_negatives,
-                self.lr,
-                self.batch_size,
-            )
+            ),
+            index_of=graph.index_of,
+            num_nodes=graph.num_nodes,
+            window=self.window,
+            num_negatives=self.num_negatives,
+            batch_size=self.batch_size,
+            rng=rng,
+        )
+        self._run_loop(
+            [SkipGramPhase("sgns", pipeline, trainer, lr=self.lr)],
+            self.epochs,
+        )
         return self._as_dict(graph, matrix)

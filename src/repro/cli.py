@@ -63,22 +63,45 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
         config = TransNConfig(
             dim=dim, seed=seed, num_iterations=args.iterations
         )
-        return TransNMethod(config)
-    simple = {
-        "line": lambda: LINE(dim=dim, seed=seed),
-        "deepwalk": lambda: DeepWalk(dim=dim, seed=seed),
-        "node2vec": lambda: Node2Vec(dim=dim, seed=seed),
-        "hin2vec": lambda: HIN2Vec(dim=dim, seed=seed),
-        "mve": lambda: MVE(dim=dim, seed=seed),
-        "rgcn": lambda: RGCN(dim=dim, seed=seed),
-        "simple": lambda: SimplE(dim=dim, seed=seed),
-    }
-    if name not in simple:
-        raise SystemExit(
-            f"unknown method {name!r}; choose from transn, "
-            + ", ".join(sorted(simple))
+        method = TransNMethod(config)
+    else:
+        simple = {
+            "line": lambda: LINE(dim=dim, seed=seed),
+            "deepwalk": lambda: DeepWalk(dim=dim, seed=seed),
+            "node2vec": lambda: Node2Vec(dim=dim, seed=seed),
+            "hin2vec": lambda: HIN2Vec(dim=dim, seed=seed),
+            "mve": lambda: MVE(dim=dim, seed=seed),
+            "rgcn": lambda: RGCN(dim=dim, seed=seed),
+            "simple": lambda: SimplE(dim=dim, seed=seed),
+        }
+        if name not in simple:
+            raise SystemExit(
+                f"unknown method {name!r}; choose from transn, "
+                + ", ".join(sorted(simple))
+            )
+        method = simple[name]()
+    if getattr(args, "verbose", False):
+        from repro.engine import ProgressReporter
+
+        method.callbacks.append(ProgressReporter())
+    return method
+
+
+def _print_engine_summary(method) -> None:
+    """Per-phase loss/timing from the method's engine run, if it had one."""
+    run = getattr(method, "last_run_", None)
+    if run is None or not run.timings:
+        return
+    parts = []
+    for phase, seconds in run.timings.items():
+        final = next(
+            (entry for entry in reversed(run.history.get(phase, [])) if entry),
+            {},
         )
-    return simple[name]()
+        rendered = " ".join(f"{k}={v:.4f}" for k, v in final.items())
+        tail = f" (final {rendered})" if rendered else ""
+        parts.append(f"{phase} {seconds:.2f}s{tail}")
+    print(f"phase timings [{run.epochs_run} epochs]: " + "  ".join(parts))
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -128,6 +151,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     method = _make_method(args.method, graph, args)
     print(f"training {method.name} (d={args.dim}) on {graph} ...")
     embeddings = method.fit(graph)
+    _print_engine_summary(method)
     save_embeddings(embeddings, args.out)
     print(f"wrote {len(embeddings)} embeddings to {args.out}")
     return 0
@@ -141,6 +165,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     method = _make_method(args.method, graph, args)
     print(f"training {method.name} on {graph} ...")
     embeddings = method.fit(graph)
+    _print_engine_summary(method)
     result = run_node_classification(
         embeddings, labels, repeats=args.repeats, seed=args.seed
     )
@@ -183,6 +208,11 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=TransNConfig().num_iterations,
         help="TransN outer iterations (Algorithm 1's K)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-iteration losses and timings while training",
     )
 
 

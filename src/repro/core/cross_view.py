@@ -29,6 +29,7 @@ from repro.autograd.functional import l2_normalize_rows
 from repro.graph.heterograph import NodeId
 from repro.graph.views import View, ViewPair, paired_subviews
 from repro.nn import Adam
+from repro.nn.optim import RowAdam, RowOptimizer, make_row_optimizer
 from repro.walks import BiasedCorrelatedWalker, UniformWalker
 from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
 
@@ -54,46 +55,6 @@ def similarity_loss(
         inner = (prediction * target).sum(axis=-1)
         return (1.0 - inner).mean()
     return -(prediction * target).sum(axis=-1).mean()
-
-
-class RowAdam:
-    """Adam over an embedding matrix receiving sparse row gradients.
-
-    Bias correction uses a global step count (the usual sparse-Adam
-    simplification).
-    """
-
-    def __init__(
-        self,
-        matrix: np.ndarray,
-        lr: float,
-        betas: tuple[float, float] = (0.9, 0.999),
-        eps: float = 1e-8,
-    ) -> None:
-        self.matrix = matrix
-        self.lr = lr
-        self.beta1, self.beta2 = betas
-        self.eps = eps
-        self._m = np.zeros_like(matrix)
-        self._v = np.zeros_like(matrix)
-        self._t = 0
-
-    def update(self, rows: np.ndarray, grads: np.ndarray) -> None:
-        """Apply one Adam step to ``rows`` given their gradients."""
-        rows = np.asarray(rows, dtype=np.int64)
-        unique, inverse = np.unique(rows, return_inverse=True)
-        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
-        np.add.at(aggregated, inverse, grads)
-        self._t += 1
-        m = self._m[unique]
-        v = self._v[unique]
-        m = self.beta1 * m + (1.0 - self.beta1) * aggregated
-        v = self.beta2 * v + (1.0 - self.beta2) * aggregated**2
-        self._m[unique] = m
-        self._v[unique] = v
-        m_hat = m / (1.0 - self.beta1**self._t)
-        v_hat = v / (1.0 - self.beta2**self._t)
-        self.matrix[unique] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 @dataclass
@@ -162,8 +123,8 @@ class CrossViewTrainer:
         emb_lr = lr_cross_embeddings if lr_cross_embeddings is not None else lr_cross
         self._emb_i = embeddings_i
         self._emb_j = embeddings_j
-        self._row_adam_i = RowAdam(embeddings_i, lr=emb_lr)
-        self._row_adam_j = RowAdam(embeddings_j, lr=emb_lr)
+        self._row_adam_i = make_row_optimizer("adam", embeddings_i, lr=emb_lr)
+        self._row_adam_j = make_row_optimizer("adam", embeddings_j, lr=emb_lr)
 
         # common nodes that survived the subview reduction on both sides
         self._common = sorted(
@@ -204,8 +165,8 @@ class CrossViewTrainer:
         target_view: View,
         source_emb: np.ndarray,
         target_emb: np.ndarray,
-        source_adam: RowAdam,
-        target_adam: RowAdam,
+        source_adam: RowOptimizer,
+        target_adam: RowOptimizer,
         forward,
         backward,
     ) -> tuple[float, float]:

@@ -17,12 +17,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import Callback, CallablePhase, LoopResult, TrainingLoop
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import build_view_pairs, separate_views
 
 from repro.core.config import TransNConfig
 from repro.core.cross_view import CrossViewTrainer
 from repro.core.single_view import SingleViewTrainer
+
+SINGLE_VIEW_PHASE = "single_view"
+CROSS_VIEW_PHASE = "cross_view"
 
 
 @dataclass
@@ -118,35 +122,61 @@ class TransN:
         ]
 
         self.history = TrainingHistory()
+        self.last_run: LoopResult | None = None
+        self.timings: dict[str, float] = {}
         self._fitted = False
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, num_iterations: int | None = None) -> TrainingHistory:
+    def _single_view_step(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+        """Lines 3-8 of Algorithm 1: one skip-gram pass per view."""
+        losses = [
+            trainer.train_epoch(lr=self.config.lr_single)
+            for trainer in self.single_trainers
+        ]
+        value = float(np.mean(losses))
+        self.history.single_view.append(value)
+        return {"loss": value}
+
+    def _cross_view_step(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+        """Lines 9-12 of Algorithm 1: dual learning over every view-pair."""
+        epoch_losses = [trainer.train_epoch() for trainer in self.cross_trainers]
+        trained = [e for e in epoch_losses if e.num_paths > 0]
+        if not trained:
+            return {}
+        translation = float(np.mean([e.translation for e in trained]))
+        reconstruction = float(np.mean([e.reconstruction for e in trained]))
+        self.history.translation.append(translation)
+        self.history.reconstruction.append(reconstruction)
+        return {"translation": translation, "reconstruction": reconstruction}
+
+    def fit(
+        self,
+        num_iterations: int | None = None,
+        callbacks: list[Callback] | tuple[Callback, ...] = (),
+    ) -> TrainingHistory:
         """Run Algorithm 1 for K iterations; returns the loss history.
+
+        The alternating loop runs as a :class:`repro.engine.TrainingLoop`
+        with a ``single_view`` phase and (when view-pairs exist) a
+        ``cross_view`` phase, so per-iteration losses and per-phase
+        wall-clock timings are observable through engine ``callbacks``
+        (e.g. :class:`repro.engine.ProgressReporter` or
+        :class:`repro.engine.EarlyStopping`); cumulative timings land in
+        :attr:`timings` and the full result in :attr:`last_run`.
 
         Calling :meth:`fit` again continues training from the current
         state (useful for convergence studies).
         """
         iterations = num_iterations if num_iterations is not None else self.config.num_iterations
-        for _ in range(iterations):
-            single_losses = [
-                trainer.train_epoch(lr=self.config.lr_single)
-                for trainer in self.single_trainers
-            ]
-            self.history.single_view.append(float(np.mean(single_losses)))
-
-            if self.cross_trainers:
-                epoch = [trainer.train_epoch() for trainer in self.cross_trainers]
-                trained = [e for e in epoch if e.num_paths > 0]
-                if trained:
-                    self.history.translation.append(
-                        float(np.mean([e.translation for e in trained]))
-                    )
-                    self.history.reconstruction.append(
-                        float(np.mean([e.reconstruction for e in trained]))
-                    )
+        phases = [CallablePhase(SINGLE_VIEW_PHASE, self._single_view_step)]
+        if self.cross_trainers:
+            phases.append(CallablePhase(CROSS_VIEW_PHASE, self._cross_view_step))
+        loop = TrainingLoop(phases, callbacks=callbacks)
+        self.last_run = loop.run(iterations)
+        for name, seconds in self.last_run.timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + seconds
         self._fitted = True
         return self.history
 

@@ -3,21 +3,23 @@
 Per view: sample biased correlated random walks, extract context pairs
 under the Definition-6 window (1 on homo-views, 2 on heter-views), and
 run skip-gram-with-negative-sampling SGD steps on the view-specific
-embedding matrix.
+embedding matrix.  Batching and negative sampling go through the shared
+:class:`repro.engine.CorpusPipeline`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.engine import CorpusPipeline
 from repro.graph.views import View
-from repro.skipgram import NoiseDistribution, SkipGramTrainer, extract_pairs, window_for_view
+from repro.skipgram import SkipGramTrainer, window_for_view
 from repro.walks import BiasedCorrelatedWalker, UniformWalker, build_corpus
 from repro.walks.corpus import WalkCorpus
 
+import numpy as np
+
 
 class SingleViewTrainer:
-    """Owns one view's walks, noise distribution, and SGNS updates.
+    """Owns one view's walks, batch pipeline, and SGNS updates.
 
     Args:
         view: the view to train on.
@@ -29,6 +31,9 @@ class SingleViewTrainer:
         num_negatives: negatives per positive pair.
         batch_size: SGD minibatch size.
         rng: the model's random source.
+        optimizer: row optimizer of the SGNS matrices (``"sgd"`` is the
+            paper-faithful word2vec update; ``"adam"`` is the engine
+            extension).
     """
 
     def __init__(
@@ -42,6 +47,7 @@ class SingleViewTrainer:
         num_negatives: int = 5,
         batch_size: int = 256,
         simple_walk: bool = False,
+        optimizer: str = "sgd",
     ) -> None:
         if embeddings.shape[0] != view.num_nodes:
             raise ValueError(
@@ -60,8 +66,16 @@ class SingleViewTrainer:
             self.walker = UniformWalker(view, rng=rng)
         else:
             self.walker = BiasedCorrelatedWalker(view, rng=rng)
-        self.trainer = SkipGramTrainer(embeddings, rng=rng)
-        self._noise: NoiseDistribution | None = None
+        self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
+        self.pipeline = CorpusPipeline(
+            sample_corpus=self.sample_corpus,
+            index_of=view.graph.index_of,
+            num_nodes=view.num_nodes,
+            window=self.window,
+            num_negatives=num_negatives,
+            batch_size=batch_size,
+            rng=rng,
+        )
 
     # ------------------------------------------------------------------
     def sample_corpus(self) -> WalkCorpus:
@@ -75,58 +89,25 @@ class SingleViewTrainer:
             rng=self.rng,
         )
 
-    def _pairs_as_indices(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
-        index_of = self.view.graph.index_of
-        centers: list[int] = []
-        contexts: list[int] = []
-        for walk in corpus:
-            for center, context in extract_pairs(walk, self.window):
-                centers.append(index_of(center))
-                contexts.append(index_of(context))
-        return (
-            np.asarray(centers, dtype=np.int64),
-            np.asarray(contexts, dtype=np.int64),
-        )
-
-    def _noise_for(self, corpus: WalkCorpus) -> NoiseDistribution:
-        if self._noise is None:
-            counts = np.zeros(self.view.num_nodes)
-            index_of = self.view.graph.index_of
-            for node, count in corpus.node_frequencies().items():
-                counts[index_of(node)] = count
-            self._noise = NoiseDistribution(counts, self.view.num_nodes)
-        return self._noise
-
     def train_epoch(self, lr: float) -> float:
         """One pass (lines 4-7 of Algorithm 1): returns the mean SGNS loss."""
-        corpus = self.sample_corpus()
-        centers, contexts = self._pairs_as_indices(corpus)
-        if centers.size == 0:
-            return 0.0
-        noise = self._noise_for(corpus)
         total, batches = 0.0, 0
-        for start in range(0, centers.size, self.batch_size):
-            end = min(start + self.batch_size, centers.size)
-            batch_centers = centers[start:end]
-            batch_contexts = contexts[start:end]
-            negatives = noise.sample(
-                self.rng, size=(end - start) * self.num_negatives
-            ).reshape(end - start, self.num_negatives)
+        for batch in self.pipeline.epoch():
             total += self.trainer.train_batch(
-                batch_centers, batch_contexts, negatives, lr=lr
+                batch.centers, batch.contexts, batch.negatives, lr=lr
             )
             batches += 1
-        return total / batches
+        return total / batches if batches else 0.0
 
     def evaluate_loss(self, num_pairs: int = 512) -> float:
         """Monitoring loss on a fresh sample of pairs (no updates)."""
         corpus = self.sample_corpus()
-        centers, contexts = self._pairs_as_indices(corpus)
+        centers, contexts = self.pipeline.pairs(corpus)
         if centers.size == 0:
             return 0.0
         take = min(num_pairs, centers.size)
         pick = self.rng.choice(centers.size, size=take, replace=False)
-        noise = self._noise_for(corpus)
+        noise = self.pipeline.noise(corpus)
         negatives = noise.sample(self.rng, size=take * self.num_negatives)
         return self.trainer.loss_batch(
             centers[pick],

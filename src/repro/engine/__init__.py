@@ -1,0 +1,58 @@
+"""The unified training engine.
+
+Every trainer in this repository — TransN's Algorithm 1 and all
+skip-gram-with-negative-sampling baselines — builds its training loop from
+the same three pieces:
+
+- a batch **pipeline** (:class:`CorpusPipeline` for walk corpora,
+  :class:`EdgeSamplingPipeline` for LINE-style edge draws) streaming
+  (center, context, negatives) minibatches with a reusable noise table;
+- **phases** (:class:`SkipGramPhase`, :class:`CallablePhase`) — named
+  per-epoch units of work;
+- a :class:`TrainingLoop` running the phases under a callback system
+  (:class:`LossHistory`, :class:`PhaseTimer`, :class:`EarlyStopping`,
+  :class:`LinearLRDecay`, :class:`ProgressReporter`).
+
+This is the seam where instrumentation, scheduling, and future
+parallelism/observability work plug in once and apply to every method.
+"""
+
+from repro.engine.callbacks import (
+    Callback,
+    EarlyStopping,
+    LinearLRDecay,
+    LossHistory,
+    PhaseTimer,
+    ProgressReporter,
+)
+from repro.engine.loop import (
+    CallablePhase,
+    LoopResult,
+    Phase,
+    SkipGramPhase,
+    TrainingLoop,
+)
+from repro.engine.pipeline import (
+    BatchSource,
+    CorpusPipeline,
+    EdgeSamplingPipeline,
+    SkipGramBatch,
+)
+
+__all__ = [
+    "BatchSource",
+    "Callback",
+    "CallablePhase",
+    "CorpusPipeline",
+    "EarlyStopping",
+    "EdgeSamplingPipeline",
+    "LinearLRDecay",
+    "LoopResult",
+    "LossHistory",
+    "Phase",
+    "PhaseTimer",
+    "ProgressReporter",
+    "SkipGramBatch",
+    "SkipGramPhase",
+    "TrainingLoop",
+]

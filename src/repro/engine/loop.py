@@ -1,0 +1,212 @@
+"""The shared training loop: epochs of named phases, observed by callbacks.
+
+Algorithm 1 of the paper alternates a single-view skip-gram step and a
+cross-view dual-learning step inside one outer loop; the SGNS baselines
+are the degenerate case of a single phase.  :class:`TrainingLoop` models
+exactly that shape — an ordered list of :class:`Phase` objects executed
+once per epoch — and owns the bookkeeping every trainer used to hand-roll:
+loss history, per-phase wall-clock timing, early stopping, learning-rate
+scheduling, and progress reporting all attach as
+:class:`~repro.engine.callbacks.Callback` hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.callbacks import Callback, EpochLogs, LossHistory, PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.pipeline import BatchSource
+
+
+class Phase:
+    """One named unit of per-epoch work.
+
+    Subclasses implement :meth:`run` returning the phase's named losses
+    for the epoch (an empty dict when there was nothing to train on).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("phases need a non-empty name")
+        self.name = name
+
+    def run(self, loop: "TrainingLoop", epoch: int) -> dict[str, float]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CallablePhase(Phase):
+    """Adapts a plain function ``(loop, epoch) -> losses`` into a Phase.
+
+    The function may return a dict of named losses, a bare float (stored
+    under ``"loss"``), or ``None`` (no losses this epoch).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[["TrainingLoop", int], dict[str, float] | float | None],
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def run(self, loop: "TrainingLoop", epoch: int) -> dict[str, float]:
+        result = self.fn(loop, epoch)
+        if result is None:
+            return {}
+        if isinstance(result, dict):
+            return result
+        return {"loss": float(result)}
+
+
+class SkipGramPhase(Phase):
+    """Streams a :class:`~repro.engine.pipeline.BatchSource` through a
+    :class:`~repro.skipgram.trainer.SkipGramTrainer`.
+
+    The learning rate lives on the phase (``self.lr``) so scheduling
+    callbacks can adjust it between epochs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pipeline: "BatchSource",
+        trainer,
+        lr: float,
+    ) -> None:
+        super().__init__(name)
+        self.pipeline = pipeline
+        self.trainer = trainer
+        self.lr = lr
+
+    def run(self, loop: "TrainingLoop", epoch: int) -> dict[str, float]:
+        total, batches = 0.0, 0
+        for batch in self.pipeline.epoch():
+            loss = self.trainer.train_batch(
+                batch.centers, batch.contexts, batch.negatives, lr=self.lr
+            )
+            loop.notify_batch(epoch, self, batches, loss)
+            total += loss
+            batches += 1
+        if batches == 0:
+            return {}
+        return {"loss": total / batches}
+
+
+@dataclass
+class LoopResult:
+    """What a finished :meth:`TrainingLoop.run` hands back.
+
+    Attributes:
+        history: phase name -> one named-loss dict per epoch.
+        timings: phase name -> cumulative wall-clock seconds.
+        epoch_timings: phase name -> per-epoch wall-clock seconds.
+        epochs_run: epochs actually executed (may be fewer than requested
+            when a callback stopped the run).
+        stopped_early: whether a callback requested the stop.
+    """
+
+    history: dict[str, list[dict[str, float]]] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    epoch_timings: dict[str, list[float]] = field(default_factory=dict)
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+    def series(self, phase_name: str, loss_name: str = "loss") -> list[float]:
+        """One loss as a flat series, skipping epochs that lack it."""
+        return [
+            entry[loss_name]
+            for entry in self.history.get(phase_name, [])
+            if loss_name in entry
+        ]
+
+
+class TrainingLoop:
+    """Runs phases for a number of epochs, firing callbacks throughout.
+
+    Args:
+        phases: the ordered per-epoch work units.
+        callbacks: user hooks; a :class:`LossHistory` and a
+            :class:`PhaseTimer` are always attached internally (first in
+            the firing order) to populate the :class:`LoopResult`.
+    """
+
+    def __init__(
+        self,
+        phases: list[Phase],
+        callbacks: list[Callback] | tuple[Callback, ...] = (),
+    ) -> None:
+        if not phases:
+            raise ValueError("a training loop needs at least one phase")
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"phase names must be unique, got {names}")
+        self.phases = list(phases)
+        self._loss_history = LossHistory()
+        self._timer = PhaseTimer()
+        self.callbacks: list[Callback] = [
+            self._loss_history,
+            self._timer,
+            *callbacks,
+        ]
+        self.num_epochs = 0
+        self.stop_requested = False
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the loop to stop after the current epoch completes."""
+        self.stop_requested = True
+
+    def notify_batch(
+        self, epoch: int, phase: Phase, batch_index: int, loss: float
+    ) -> None:
+        """Fire ``on_batch_end`` (called by phases that see batches)."""
+        for callback in self.callbacks:
+            callback.on_batch_end(self, epoch, phase, batch_index, loss)
+
+    # ------------------------------------------------------------------
+    def run(self, num_epochs: int) -> LoopResult:
+        """Execute up to ``num_epochs`` epochs and return the result."""
+        if num_epochs < 0:
+            raise ValueError(f"num_epochs must be >= 0, got {num_epochs}")
+        self.num_epochs = num_epochs
+        self.stop_requested = False
+        epochs_run = 0
+        for callback in self.callbacks:
+            callback.on_train_begin(self)
+        for epoch in range(num_epochs):
+            for callback in self.callbacks:
+                callback.on_epoch_begin(self, epoch)
+            logs: EpochLogs = {}
+            for phase in self.phases:
+                for callback in self.callbacks:
+                    callback.on_phase_begin(self, epoch, phase)
+                losses = phase.run(self, epoch)
+                for callback in self.callbacks:
+                    callback.on_phase_end(self, epoch, phase, losses)
+                logs[phase.name] = losses
+            for callback in self.callbacks:
+                callback.on_epoch_end(self, epoch, logs)
+            epochs_run += 1
+            if self.stop_requested:
+                break
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return LoopResult(
+            history={
+                name: list(entries)
+                for name, entries in self._loss_history.history.items()
+            },
+            timings=dict(self._timer.totals),
+            epoch_timings={
+                name: list(values)
+                for name, values in self._timer.epochs.items()
+            },
+            epochs_run=epochs_run,
+            stopped_early=self.stop_requested,
+        )

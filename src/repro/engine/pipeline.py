@@ -1,0 +1,208 @@
+"""Streaming (center, context, negatives) batch sources.
+
+Every skip-gram-style trainer in this repository — TransN's single-view
+algorithm and the five SGNS baselines — consumes the same kind of data:
+minibatches of positive (center, context) index pairs with ``m`` negative
+indices per pair.  The pipelines here own the full walk→pairs→negatives
+(or edge-sample→negatives) chain so trainers only ever see
+:class:`SkipGramBatch` objects:
+
+- :class:`CorpusPipeline` — samples a fresh walk corpus per epoch, extracts
+  Definition-6 context pairs, and draws negatives from a unigram^0.75
+  noise table built once from the first corpus and reused afterwards.
+- :class:`EdgeSamplingPipeline` — LINE-style edge sampling: positives are
+  weight-proportional edge draws, negatives come from the degree^0.75
+  distribution.
+
+Both expose ``epoch() -> Iterator[SkipGramBatch]`` (the
+:class:`BatchSource` protocol), which is what
+:class:`repro.engine.loop.SkipGramPhase` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol
+
+import numpy as np
+
+from repro.graph.alias import AliasSampler
+from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.skipgram import NoiseDistribution, extract_pairs
+from repro.walks.corpus import WalkCorpus
+
+
+@dataclass
+class SkipGramBatch:
+    """One SGNS minibatch in dense-index space.
+
+    Attributes:
+        centers: int array (B,) of center indices.
+        contexts: int array (B,) of positive context indices.
+        negatives: int array (B, m) of negative indices.
+    """
+
+    centers: np.ndarray
+    contexts: np.ndarray
+    negatives: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.centers.shape[0])
+
+
+class BatchSource(Protocol):
+    """Anything that can stream one epoch of SGNS batches."""
+
+    def epoch(self) -> Iterator[SkipGramBatch]: ...
+
+
+class CorpusPipeline:
+    """Walk corpus → context pairs → negative-sampled minibatches.
+
+    Args:
+        sample_corpus: zero-argument callable producing a fresh
+            :class:`WalkCorpus` (walker draws happen inside it, so the
+            caller controls the walk policy and RNG).
+        index_of: node-ID → dense-index mapping of the trained matrix.
+        num_nodes: number of rows of the trained matrix.
+        window: Definition-6 context window for pair extraction.
+        num_negatives: negatives drawn per positive pair.
+        batch_size: pairs per yielded batch.
+        rng: generator used for the negative draws.
+        noise_power: exponent of the noise distribution (word2vec: 0.75).
+
+    The noise table is built from the *first* sampled corpus and cached:
+    corpus frequencies are stable enough across epochs that rebuilding the
+    table would only add cost (this mirrors the behaviour every trainer in
+    the repo had before the engine existed, keeping training bit-for-bit
+    reproducible across the refactor).
+    """
+
+    def __init__(
+        self,
+        sample_corpus: Callable[[], WalkCorpus],
+        index_of: Callable[[NodeId], int],
+        num_nodes: int,
+        window: int,
+        num_negatives: int = 5,
+        batch_size: int = 128,
+        rng: np.random.Generator | None = None,
+        noise_power: float = 0.75,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if num_negatives < 1:
+            raise ValueError(
+                f"num_negatives must be >= 1, got {num_negatives}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.sample_corpus = sample_corpus
+        self.index_of = index_of
+        self.num_nodes = num_nodes
+        self.window = window
+        self.num_negatives = num_negatives
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.noise_power = noise_power
+        self._noise: NoiseDistribution | None = None
+
+    # ------------------------------------------------------------------
+    def pairs(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten ``corpus`` into (centers, contexts) index arrays."""
+        centers: list[int] = []
+        contexts: list[int] = []
+        index_of = self.index_of
+        for walk in corpus:
+            for center, context in extract_pairs(walk, self.window):
+                centers.append(index_of(center))
+                contexts.append(index_of(context))
+        return (
+            np.asarray(centers, dtype=np.int64),
+            np.asarray(contexts, dtype=np.int64),
+        )
+
+    def noise(self, corpus: WalkCorpus) -> NoiseDistribution:
+        """The (cached) noise table, built on first use from ``corpus``."""
+        if self._noise is None:
+            counts = np.zeros(self.num_nodes)
+            index_of = self.index_of
+            for node, count in corpus.node_frequencies().items():
+                counts[index_of(node)] = count
+            self._noise = NoiseDistribution(
+                counts, self.num_nodes, power=self.noise_power
+            )
+        return self._noise
+
+    def epoch(self) -> Iterator[SkipGramBatch]:
+        """Sample one corpus and stream it as minibatches."""
+        corpus = self.sample_corpus()
+        centers, contexts = self.pairs(corpus)
+        if centers.size == 0:
+            return
+        noise = self.noise(corpus)
+        for start in range(0, centers.size, self.batch_size):
+            end = min(start + self.batch_size, centers.size)
+            negatives = noise.sample(
+                self.rng, size=(end - start) * self.num_negatives
+            ).reshape(end - start, self.num_negatives)
+            yield SkipGramBatch(
+                centers=centers[start:end],
+                contexts=contexts[start:end],
+                negatives=negatives,
+            )
+
+
+class EdgeSamplingPipeline:
+    """LINE-style batches: weight-proportional edge draws as positives.
+
+    Each yielded pair is one drawn edge with a random orientation;
+    negatives come from the degree^0.75 noise distribution.  One ``epoch``
+    streams exactly ``num_samples`` positive draws.
+    """
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        num_samples: int,
+        num_negatives: int = 5,
+        batch_size: int = 256,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        edges = graph.edges
+        if not edges:
+            raise ValueError("edge sampling needs at least one edge")
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.num_samples = num_samples
+        self.num_negatives = num_negatives
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self._edge_sampler = AliasSampler([e.weight for e in edges])
+        self._sources = np.array(
+            [graph.index_of(e.u) for e in edges], dtype=np.int64
+        )
+        self._targets = np.array(
+            [graph.index_of(e.v) for e in edges], dtype=np.int64
+        )
+        degrees = np.array(
+            [graph.weighted_degree(n) for n in graph.nodes], dtype=np.float64
+        )
+        self._noise = NoiseDistribution(degrees, graph.num_nodes)
+
+    def epoch(self) -> Iterator[SkipGramBatch]:
+        drawn = 0
+        while drawn < self.num_samples:
+            batch = min(self.batch_size, self.num_samples - drawn)
+            picks = np.asarray(self._edge_sampler.sample(self.rng, size=batch))
+            # each undirected edge yields both directions
+            flip = self.rng.random(batch) < 0.5
+            centers = np.where(flip, self._sources[picks], self._targets[picks])
+            contexts = np.where(flip, self._targets[picks], self._sources[picks])
+            negatives = self._noise.sample(
+                self.rng, size=batch * self.num_negatives
+            ).reshape(batch, self.num_negatives)
+            yield SkipGramBatch(
+                centers=centers, contexts=contexts, negatives=negatives
+            )
+            drawn += batch

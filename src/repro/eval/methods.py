@@ -51,7 +51,8 @@ class TransNMethod(EmbeddingMethod):
 
     def fit(self, graph: HeteroGraph) -> Embeddings:
         model = TransN(graph, self.config)
-        model.fit()
+        model.fit(callbacks=self.callbacks)
+        self.last_run_ = model.last_run
         return model.embeddings()
 
 

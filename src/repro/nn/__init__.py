@@ -13,7 +13,9 @@ The layer zoo is exactly what the paper needs:
   the R-GCN baseline and the simple-translator ablation.
 
 plus :class:`~repro.nn.optim.SGD` and :class:`~repro.nn.optim.Adam`
-(Kingma & Ba, the optimizer Algorithm 1 prescribes).
+(Kingma & Ba, the optimizer Algorithm 1 prescribes) and their sparse
+counterparts :class:`~repro.nn.optim.RowSGD` /
+:class:`~repro.nn.optim.RowAdam` for per-row embedding-matrix updates.
 """
 
 from repro.nn.modules import (
@@ -24,7 +26,15 @@ from repro.nn.modules import (
     SelfAttentionLayer,
     Sequential,
 )
-from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    Optimizer,
+    RowAdam,
+    RowOptimizer,
+    RowSGD,
+    make_row_optimizer,
+)
 
 __all__ = [
     "Module",
@@ -36,4 +46,8 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "RowOptimizer",
+    "RowSGD",
+    "RowAdam",
+    "make_row_optimizer",
 ]

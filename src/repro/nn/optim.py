@@ -1,4 +1,19 @@
-"""First-order optimizers for :mod:`repro.autograd` parameters."""
+"""First-order optimizers.
+
+Two families live here:
+
+- dense optimizers over :mod:`repro.autograd` parameters (:class:`SGD`,
+  :class:`Adam`) — used by the cross-view translators;
+- sparse *row* optimizers over a numpy embedding matrix
+  (:class:`RowSGD`, :class:`RowAdam`) — used wherever a batch touches only
+  a few rows of a large matrix: the skip-gram hot loop and the cross-view
+  updates of the common nodes' embeddings.
+
+Row optimizers share the :class:`RowOptimizer` interface
+(``update(rows, grads, lr=None)``), so trainers can swap SGD for Adam
+without changing their update code; :func:`make_row_optimizer` resolves a
+name to an instance.
+"""
 
 from __future__ import annotations
 
@@ -91,3 +106,114 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+# ----------------------------------------------------------------------
+# sparse row optimizers
+# ----------------------------------------------------------------------
+class RowOptimizer:
+    """Optimizer over an embedding matrix receiving sparse row gradients.
+
+    ``update(rows, grads)`` applies one step to the listed rows given one
+    gradient row per occurrence (rows may repeat within a batch; how
+    repeats are aggregated is subclass-specific).  ``lr`` passed to
+    :meth:`update` overrides the constructor default for that step, which
+    is how learning-rate schedules reach the hot loop.
+    """
+
+    def __init__(self, matrix: np.ndarray, lr: float) -> None:
+        if matrix.ndim != 2:
+            raise ValueError("row optimizers need a 2-D matrix")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.matrix = matrix
+        self.lr = lr
+
+    def update(
+        self, rows: np.ndarray, grads: np.ndarray, lr: float | None = None
+    ) -> None:
+        raise NotImplementedError
+
+
+class RowSGD(RowOptimizer):
+    """Plain SGD on rows; repeated rows receive the *mean* of their
+    per-occurrence gradients.
+
+    On small graphs a node can appear dozens of times per batch; summing
+    would multiply the effective learning rate by that count and
+    demonstrably diverges, while the mean matches the sequential word2vec
+    update in expectation.
+    """
+
+    def update(
+        self, rows: np.ndarray, grads: np.ndarray, lr: float | None = None
+    ) -> None:
+        step = self.lr if lr is None else lr
+        unique, inverse, counts = np.unique(
+            rows, return_inverse=True, return_counts=True
+        )
+        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
+        np.add.at(aggregated, inverse, grads)
+        aggregated /= counts[:, None]
+        self.matrix[unique] -= step * aggregated
+
+
+class RowAdam(RowOptimizer):
+    """Adam over an embedding matrix receiving sparse row gradients.
+
+    Repeated rows are *sum*-aggregated (one Adam step per batch per row);
+    bias correction uses a global step count (the usual sparse-Adam
+    simplification).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(matrix, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = np.zeros_like(matrix)
+        self._v = np.zeros_like(matrix)
+        self._t = 0
+
+    def update(
+        self, rows: np.ndarray, grads: np.ndarray, lr: float | None = None
+    ) -> None:
+        step = self.lr if lr is None else lr
+        rows = np.asarray(rows, dtype=np.int64)
+        unique, inverse = np.unique(rows, return_inverse=True)
+        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
+        np.add.at(aggregated, inverse, grads)
+        self._t += 1
+        m = self._m[unique]
+        v = self._v[unique]
+        m = self.beta1 * m + (1.0 - self.beta1) * aggregated
+        v = self.beta2 * v + (1.0 - self.beta2) * aggregated**2
+        self._m[unique] = m
+        self._v[unique] = v
+        m_hat = m / (1.0 - self.beta1**self._t)
+        v_hat = v / (1.0 - self.beta2**self._t)
+        self.matrix[unique] -= step * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_ROW_OPTIMIZERS = {"sgd": RowSGD, "adam": RowAdam}
+
+
+def make_row_optimizer(
+    kind: str | RowOptimizer, matrix: np.ndarray, lr: float
+) -> RowOptimizer:
+    """Resolve ``"sgd"``/``"adam"`` (or pass an instance through)."""
+    if isinstance(kind, RowOptimizer):
+        return kind
+    try:
+        cls = _ROW_OPTIMIZERS[kind.lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown row optimizer {kind!r}; choose from "
+            + ", ".join(sorted(_ROW_OPTIMIZERS))
+        ) from None
+    return cls(matrix, lr=lr)

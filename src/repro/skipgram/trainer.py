@@ -9,29 +9,21 @@ For a batch of (center c, context o) pairs with negatives ``k_1..k_m``:
 
     L = -log sigma(w_o . w_c) - sum_j log sigma(-w_{k_j} . w_c)
 
-A node that occurs several times within a batch receives the *mean* of its
-per-occurrence gradients, not the sum.  On small graphs a node can appear
+Updates go through the shared sparse row optimizers of
+:mod:`repro.nn.optim`.  The default :class:`~repro.nn.optim.RowSGD` gives
+a node occurring several times within a batch the *mean* of its
+per-occurrence gradients, not the sum: on small graphs a node can appear
 dozens of times per batch; summing would multiply the effective learning
 rate by that count and demonstrably diverges, while the mean matches the
-sequential word2vec update in expectation.
+sequential word2vec update in expectation.  ``optimizer="adam"`` swaps in
+:class:`~repro.nn.optim.RowAdam` for both matrices.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-
-def _apply_mean_update(
-    matrix: np.ndarray, rows: np.ndarray, grads: np.ndarray, lr: float
-) -> None:
-    """``matrix[row] -= lr * mean(grads of that row)`` for each unique row."""
-    unique, inverse, counts = np.unique(
-        rows, return_inverse=True, return_counts=True
-    )
-    aggregated = np.zeros((unique.size, matrix.shape[1]))
-    np.add.at(aggregated, inverse, grads)
-    aggregated /= counts[:, None]
-    matrix[unique] -= lr * aggregated
+from repro.nn.optim import make_row_optimizer
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -52,12 +44,21 @@ class SkipGramTrainer:
             view-specific embeddings are also touched by the cross-view
             algorithm).
         rng: generator used for initialization of the output matrix.
+        optimizer: ``"sgd"`` (default, the classic word2vec update) or
+            ``"adam"`` — resolved through
+            :func:`repro.nn.optim.make_row_optimizer` for both the input
+            and the output matrix.
+        optimizer_lr: base learning rate stored on the row optimizers;
+            the per-call ``lr`` of :meth:`train_batch` overrides it, so
+            this matters mainly for Adam's scale.
     """
 
     def __init__(
         self,
         embeddings: np.ndarray,
         rng: np.random.Generator | None = None,
+        optimizer: str = "sgd",
+        optimizer_lr: float = 0.025,
     ) -> None:
         if embeddings.ndim != 2:
             raise ValueError("embeddings must be 2-D (num_nodes, dim)")
@@ -65,6 +66,12 @@ class SkipGramTrainer:
         self.num_nodes, self.dim = embeddings.shape
         # word2vec initializes the output (context) matrix to zeros
         self.context = np.zeros_like(embeddings)
+        self.input_optimizer = make_row_optimizer(
+            optimizer, self.embeddings, lr=optimizer_lr
+        )
+        self.context_optimizer = make_row_optimizer(
+            optimizer, self.context, lr=optimizer_lr
+        )
 
     def train_batch(
         self,
@@ -107,14 +114,14 @@ class SkipGramTrainer:
         grad_context = g_pos[:, None] * w_c
         grad_negatives = g_neg[..., None] * w_c[:, None, :]
 
-        _apply_mean_update(self.embeddings, centers, grad_center, lr)
+        self.input_optimizer.update(centers, grad_center, lr=lr)
         # positive-context and negative rows both live in self.context;
         # aggregate them together so a node playing both roles moves once
         out_rows = np.concatenate([contexts, negatives.reshape(-1)])
         out_grads = np.concatenate(
             [grad_context, grad_negatives.reshape(-1, self.dim)]
         )
-        _apply_mean_update(self.context, out_rows, out_grads, lr)
+        self.context_optimizer.update(out_rows, out_grads, lr=lr)
 
         eps = 1e-12
         loss = -np.log(pos_sig + eps) - np.log(1.0 - neg_sig + eps).sum(axis=1)

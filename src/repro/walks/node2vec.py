@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.alias import AliasSampler
 from repro.graph.heterograph import HeteroGraph, NodeId
 
 
@@ -14,6 +15,13 @@ class Node2VecWalker:
       * ``w / p`` if x == t (return),
       * ``w``     if x is adjacent to t (distance 1),
       * ``w / q`` otherwise (explore).
+
+    Sampling is O(1) per step via alias tables: first steps use a
+    per-node table over edge weights; second-order steps use per-(t, v)
+    tables built lazily on first traversal of the edge and cached — the
+    classic node2vec preprocessing, amortized instead of paid upfront so
+    sparse multi-epoch corpora only ever build tables for edges walks
+    actually cross.
     """
 
     def __init__(
@@ -33,19 +41,36 @@ class Node2VecWalker:
             node: set(graph.neighbors(node)) for node in graph.nodes
         }
         self._incident = {node: graph.incident(node) for node in graph.nodes}
-        self._first_cumsum = {
-            node: np.cumsum([w for _, w, _ in inc]) if inc else np.empty(0)
+        self._first_alias = {
+            node: AliasSampler([w for _, w, _ in inc]) if inc else None
             for node, inc in self._incident.items()
         }
+        self._second_alias: dict[tuple[NodeId, NodeId], AliasSampler] = {}
 
     def _first_step(self, start: NodeId) -> NodeId | None:
-        incident = self._incident[start]
-        if not incident:
+        sampler = self._first_alias[start]
+        if sampler is None:
             return None
-        cumsum = self._first_cumsum[start]
-        pick = self.rng.random() * cumsum[-1]
-        j = min(int(np.searchsorted(cumsum, pick, side="right")), len(incident) - 1)
-        return incident[j][0]
+        return self._incident[start][sampler.sample(self.rng)][0]
+
+    def _second_sampler(self, prev: NodeId, current: NodeId) -> AliasSampler:
+        """The (t, v) transition table, built on first use."""
+        key = (prev, current)
+        sampler = self._second_alias.get(key)
+        if sampler is None:
+            incident = self._incident[current]
+            prev_neighbors = self._neighbor_sets[prev]
+            weights = np.empty(len(incident))
+            for j, (candidate, w, _) in enumerate(incident):
+                if candidate == prev:
+                    weights[j] = w / self.p
+                elif candidate in prev_neighbors:
+                    weights[j] = w
+                else:
+                    weights[j] = w / self.q
+            sampler = AliasSampler(weights)
+            self._second_alias[key] = sampler
+        return sampler
 
     def walk(self, start: NodeId, length: int) -> list[NodeId]:
         """One p/q-biased walk of up to ``length`` nodes."""
@@ -61,20 +86,6 @@ class Node2VecWalker:
             incident = self._incident[current]
             if not incident:
                 break
-            prev_neighbors = self._neighbor_sets[prev]
-            weights = np.empty(len(incident))
-            for j, (candidate, w, _) in enumerate(incident):
-                if candidate == prev:
-                    weights[j] = w / self.p
-                elif candidate in prev_neighbors:
-                    weights[j] = w
-                else:
-                    weights[j] = w / self.q
-            cumsum = np.cumsum(weights)
-            pick = self.rng.random() * cumsum[-1]
-            j = min(
-                int(np.searchsorted(cumsum, pick, side="right")),
-                len(incident) - 1,
-            )
-            path.append(incident[j][0])
+            sampler = self._second_sampler(prev, current)
+            path.append(incident[sampler.sample(self.rng)][0])
         return path

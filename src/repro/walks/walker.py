@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.alias import AliasSampler
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import View
 
@@ -30,20 +31,21 @@ class _AdjacencyArrays:
     """Per-node neighbour/weight arrays in dense-index space.
 
     Both walkers share this cache: for node index ``i``,
-    ``neighbors[i]`` is an int array of neighbour indices and
-    ``weights[i]`` the matching weight array.
+    ``neighbors[i]`` is an int array of neighbour indices,
+    ``weights[i]`` the matching weight array, and ``alias[i]`` an
+    :class:`AliasSampler` over those weights (``None`` for isolated
+    nodes), giving O(1) pi_1 draws per step.
     """
 
     def __init__(self, graph: HeteroGraph) -> None:
         self.graph = graph
         n = graph.num_nodes
-        self.neighbors: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-        self.weights: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-        self.weight_cumsum: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self.neighbors: list[np.ndarray] = []
+        self.weights: list[np.ndarray] = []
+        self.alias: list[AliasSampler | None] = []
         self.delta: np.ndarray = np.zeros(n)
-        for node in graph.nodes:
-            i = graph.index_of(node)
-            incident = graph.incident(node)
+        for i in range(n):
+            incident = graph.incident(graph.node_at(i))
             if incident:
                 nbr_idx = np.array(
                     [graph.index_of(nbr) for nbr, _, _ in incident],
@@ -53,9 +55,9 @@ class _AdjacencyArrays:
             else:
                 nbr_idx = np.empty(0, dtype=np.int64)
                 wts = np.empty(0, dtype=np.float64)
-            self.neighbors[i] = nbr_idx
-            self.weights[i] = wts
-            self.weight_cumsum[i] = np.cumsum(wts)
+            self.neighbors.append(nbr_idx)
+            self.weights.append(wts)
+            self.alias.append(AliasSampler(wts) if wts.size else None)
             self.delta[i] = (wts.max() - wts.min()) if wts.size else 0.0
 
 
@@ -125,11 +127,8 @@ class BiasedCorrelatedWalker:
         self.rng = rng or np.random.default_rng()
 
     def _step_weighted(self, current: int) -> tuple[int, float]:
-        """One pi_1 step; returns (next index, weight of the taken edge)."""
-        cumsum = self._adj.weight_cumsum[current]
-        pick = self.rng.random() * cumsum[-1]
-        j = int(np.searchsorted(cumsum, pick, side="right"))
-        j = min(j, cumsum.size - 1)
+        """One pi_1 step (O(1) alias draw); returns (next index, weight)."""
+        j = self._adj.alias[current].sample(self.rng)
         return int(self._adj.neighbors[current][j]), float(
             self._adj.weights[current][j]
         )
@@ -137,7 +136,11 @@ class BiasedCorrelatedWalker:
     def _step_correlated(
         self, current: int, previous_weight: float
     ) -> tuple[int, float]:
-        """One pi_1 * pi_2 step (Equation 4, 'otherwise' branch)."""
+        """One pi_1 * pi_2 step (Equation 4, 'otherwise' branch).
+
+        The pi_2 factor depends on the previous edge's weight, so this
+        distribution cannot be alias-tabled ahead of time; the cumsum draw
+        stays, but only on the correlated branch."""
         weights = self._adj.weights[current]
         delta = self._adj.delta[current]
         pi1 = weights / weights.sum()

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.nn.optim import RowSGD
 from repro.skipgram import SkipGramTrainer
-from repro.skipgram.trainer import _apply_mean_update, _sigmoid
+from repro.skipgram.trainer import _sigmoid
 
 
 class TestSigmoid:
@@ -25,7 +26,7 @@ class TestSigmoid:
 class TestMeanUpdate:
     def test_unique_rows_plain_sgd(self):
         m = np.zeros((3, 2))
-        _apply_mean_update(m, np.array([0, 2]), np.ones((2, 2)), lr=0.5)
+        RowSGD(m, lr=1.0).update(np.array([0, 2]), np.ones((2, 2)), lr=0.5)
         assert np.allclose(m[0], -0.5)
         assert np.allclose(m[1], 0.0)
         assert np.allclose(m[2], -0.5)
@@ -33,7 +34,7 @@ class TestMeanUpdate:
     def test_duplicates_averaged_not_summed(self):
         m = np.zeros((2, 2))
         grads = np.array([[1.0, 1.0], [3.0, 3.0]])
-        _apply_mean_update(m, np.array([0, 0]), grads, lr=1.0)
+        RowSGD(m, lr=1.0).update(np.array([0, 0]), grads)
         assert np.allclose(m[0], -2.0)  # mean of 1 and 3
 
 
