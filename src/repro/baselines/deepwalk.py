@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
-from repro.walks import UniformWalker, build_corpus
+from repro.walks import BatchedUniformWalker, build_corpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
@@ -50,7 +50,7 @@ class DeepWalk(EmbeddingMethod):
         rng = self._rng()
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
-        walker = UniformWalker(graph, rng=rng)
+        walker = BatchedUniformWalker(graph, rng=rng)
         pipeline = CorpusPipeline(
             sample_corpus=lambda: build_corpus(
                 graph,
@@ -59,7 +59,6 @@ class DeepWalk(EmbeddingMethod):
                 walks_per_node_override=self.walks_per_node,
                 rng=rng,
             ),
-            index_of=graph.index_of,
             num_nodes=graph.num_nodes,
             window=self.window,
             num_negatives=self.num_negatives,

@@ -65,11 +65,10 @@ class Metapath2Vec(EmbeddingMethod):
                     if len(walk) >= 2:
                         walks.append(walk)
                         visited.update(walk)
-            return WalkCorpus(walks, self.walk_length)
+            return WalkCorpus.from_paths(walks, self.walk_length, graph)
 
         pipeline = CorpusPipeline(
             sample_corpus=sample_corpus,
-            index_of=graph.index_of,
             num_nodes=graph.num_nodes,
             window=self.window,
             num_negatives=self.num_negatives,

@@ -23,7 +23,7 @@ from repro.engine import CallablePhase, CorpusPipeline, Phase, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View, separate_views
 from repro.skipgram import SkipGramTrainer
-from repro.walks import UniformWalker, build_corpus
+from repro.walks import BatchedUniformWalker, build_corpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
@@ -59,7 +59,7 @@ class MVE(EmbeddingMethod):
     def _view_pipeline(
         self, view: View, rng: np.random.Generator
     ) -> CorpusPipeline:
-        walker = UniformWalker(view, rng=rng)
+        walker = BatchedUniformWalker(view, rng=rng)
         return CorpusPipeline(
             sample_corpus=lambda: build_corpus(
                 view,
@@ -68,7 +68,6 @@ class MVE(EmbeddingMethod):
                 walks_per_node_override=self.walks_per_node,
                 rng=rng,
             ),
-            index_of=view.graph.index_of,
             num_nodes=view.num_nodes,
             window=self.window,
             num_negatives=self.num_negatives,

@@ -53,7 +53,6 @@ class Node2Vec(EmbeddingMethod):
                 walks_per_node_override=self.walks_per_node,
                 rng=rng,
             ),
-            index_of=graph.index_of,
             num_nodes=graph.num_nodes,
             window=self.window,
             num_negatives=self.num_negatives,

@@ -26,14 +26,27 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd.functional import l2_normalize_rows
-from repro.graph.heterograph import NodeId
+from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View, ViewPair, paired_subviews
 from repro.nn import Adam
 from repro.nn.optim import RowAdam, RowOptimizer, make_row_optimizer
-from repro.walks import BiasedCorrelatedWalker, UniformWalker
+from repro.walks import BatchedBiasedCorrelatedWalker, BatchedUniformWalker
 from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
 
 from repro.core.translator import make_translator
+
+
+def _index_map(source: HeteroGraph, target: HeteroGraph) -> np.ndarray:
+    """Dense source-index → target-index lookup (-1 where absent).
+
+    Chunks are sampled in a subview's index space; one gather through
+    this table re-bases them onto a view's embedding rows.
+    """
+    table = np.full(source.num_nodes, -1, dtype=np.int64)
+    for i, node in enumerate(source.nodes):
+        if target.has_node(node):
+            table[i] = target.index_of(node)
+    return table
 
 
 def similarity_loss(
@@ -105,7 +118,11 @@ class CrossViewTrainer:
         self.normalize = normalize_similarity
 
         self.sub_i, self.sub_j = paired_subviews(pair)
-        walker_cls = UniformWalker if simple_walk else BiasedCorrelatedWalker
+        walker_cls = (
+            BatchedUniformWalker
+            if simple_walk
+            else BatchedBiasedCorrelatedWalker
+        )
         self._walker_i = walker_cls(self.sub_i, rng=rng)
         self._walker_j = walker_cls(self.sub_j, rng=rng)
 
@@ -131,38 +148,56 @@ class CrossViewTrainer:
             pair.common_nodes & self.sub_i.nodes & self.sub_j.nodes,
             key=str,
         )
+        # walk-start indices (subview index space) and subview -> view
+        # embedding-row lookups; filtered chunks only contain common
+        # nodes, which exist on both sides, so the -1 slots of the maps
+        # are never gathered.
+        self._starts_i = self._start_indices(self.sub_i)
+        self._starts_j = self._start_indices(self.sub_j)
+        self._map_i_to_i = _index_map(self.sub_i.graph, pair.view_i.graph)
+        self._map_i_to_j = _index_map(self.sub_i.graph, pair.view_j.graph)
+        self._map_j_to_j = _index_map(self.sub_j.graph, pair.view_j.graph)
+        self._map_j_to_i = _index_map(self.sub_j.graph, pair.view_i.graph)
+
+    def _start_indices(self, subview: View) -> np.ndarray:
+        graph = subview.graph
+        return np.fromiter(
+            (
+                graph.index_of(n)
+                for n in self._common
+                if graph.has_node(n)
+            ),
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
     def _sample_chunks(
-        self, subview: View, walker, keep: set[NodeId]
-    ) -> list[list[NodeId]]:
-        """T walks from common-node starts -> filter -> fixed-length chunks."""
-        starts = [n for n in self._common if subview.graph.has_node(n)]
-        if not starts:
-            return []
-        walks = []
-        for _ in range(self.paths_per_epoch):
-            start = starts[int(self.rng.integers(len(starts)))]
-            walks.append(walker.walk(start, self.walk_length))
-        corpus = filter_to_nodes(
-            WalkCorpus(walks, self.walk_length), keep, min_length=2
-        )
-        return [list(c) for c in chunk_paths(corpus, self.cross_path_len)]
+        self, subview: View, walker, starts: np.ndarray
+    ) -> np.ndarray:
+        """T lockstep walks from common-node starts -> filter -> chunks.
 
-    def _rows(self, view: View, chunk: list[NodeId]) -> np.ndarray:
-        index_of = view.graph.index_of
-        return np.asarray([index_of(n) for n in chunk], dtype=np.int64)
+        Returns a ``(num_chunks, cross_path_len)`` index matrix in the
+        subview's index space.
+        """
+        if starts.size == 0:
+            return np.empty((0, self.cross_path_len), dtype=np.int64)
+        picks = starts[
+            self.rng.integers(starts.size, size=self.paths_per_epoch)
+        ]
+        matrix, lengths = walker.walk_batch(picks, self.walk_length)
+        corpus = WalkCorpus(matrix, lengths, self.walk_length, subview.graph)
+        corpus = filter_to_nodes(corpus, self._common, min_length=2)
+        return chunk_paths(corpus, self.cross_path_len)
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
     def _train_direction(
         self,
-        chunk: list[NodeId],
-        source_view: View,
-        target_view: View,
+        src_rows: np.ndarray,
+        tgt_rows: np.ndarray,
         source_emb: np.ndarray,
         target_emb: np.ndarray,
         source_adam: RowOptimizer,
@@ -172,12 +207,12 @@ class CrossViewTrainer:
     ) -> tuple[float, float]:
         """One SGD step on one chunk in one direction.
 
-        ``forward`` translates source->target, ``backward`` target->source
-        (used by the reconstruction task).  Returns (translation loss,
-        reconstruction loss) as floats.
+        ``src_rows``/``tgt_rows`` are the chunk's embedding rows in the
+        source/target view's index space.  ``forward`` translates
+        source->target, ``backward`` target->source (used by the
+        reconstruction task).  Returns (translation loss, reconstruction
+        loss) as floats.
         """
-        src_rows = self._rows(source_view, chunk)
-        tgt_rows = self._rows(target_view, chunk)
         a_src = Tensor(source_emb[src_rows], requires_grad=True)
         a_tgt = Tensor(target_emb[tgt_rows], requires_grad=True)
 
@@ -210,15 +245,17 @@ class CrossViewTrainer:
 
     def train_epoch(self) -> CrossViewLosses:
         """Lines 9-12 of Algorithm 1 for this view-pair."""
-        keep = set(self._common)
         losses = CrossViewLosses()
-        chunks_i = self._sample_chunks(self.sub_i, self._walker_i, keep)
-        chunks_j = self._sample_chunks(self.sub_j, self._walker_j, keep)
+        chunks_i = self._sample_chunks(
+            self.sub_i, self._walker_i, self._starts_i
+        )
+        chunks_j = self._sample_chunks(
+            self.sub_j, self._walker_j, self._starts_j
+        )
         for chunk in chunks_i:
             t, r = self._train_direction(
-                chunk,
-                self.pair.view_i,
-                self.pair.view_j,
+                self._map_i_to_i[chunk],
+                self._map_i_to_j[chunk],
                 self._emb_i,
                 self._emb_j,
                 self._row_adam_i,
@@ -231,9 +268,8 @@ class CrossViewTrainer:
             losses.num_paths += 1
         for chunk in chunks_j:
             t, r = self._train_direction(
-                chunk,
-                self.pair.view_j,
-                self.pair.view_i,
+                self._map_j_to_j[chunk],
+                self._map_j_to_i[chunk],
                 self._emb_j,
                 self._emb_i,
                 self._row_adam_j,

@@ -12,7 +12,11 @@ from __future__ import annotations
 from repro.engine import CorpusPipeline
 from repro.graph.views import View
 from repro.skipgram import SkipGramTrainer, window_for_view
-from repro.walks import BiasedCorrelatedWalker, UniformWalker, build_corpus
+from repro.walks import (
+    BatchedBiasedCorrelatedWalker,
+    BatchedUniformWalker,
+    build_corpus,
+)
 from repro.walks.corpus import WalkCorpus
 
 import numpy as np
@@ -63,13 +67,12 @@ class SingleViewTrainer:
         self.batch_size = batch_size
         self.window = window_for_view(view)
         if simple_walk:
-            self.walker = UniformWalker(view, rng=rng)
+            self.walker = BatchedUniformWalker(view, rng=rng)
         else:
-            self.walker = BiasedCorrelatedWalker(view, rng=rng)
+            self.walker = BatchedBiasedCorrelatedWalker(view, rng=rng)
         self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
         self.pipeline = CorpusPipeline(
             sample_corpus=self.sample_corpus,
-            index_of=view.graph.index_of,
             num_nodes=view.num_nodes,
             window=self.window,
             num_negatives=num_negatives,

@@ -10,6 +10,9 @@ indices per pair.  The pipelines here own the full walk→pairs→negatives
 - :class:`CorpusPipeline` — samples a fresh walk corpus per epoch, extracts
   Definition-6 context pairs, and draws negatives from a unigram^0.75
   noise table built once from the first corpus and reused afterwards.
+  Corpora are index-space matrices (:class:`repro.walks.WalkCorpus`), so
+  pair extraction and noise counts are array operations — nothing between
+  walk sampling and the yielded batches leaves NumPy.
 - :class:`EdgeSamplingPipeline` — LINE-style edge sampling: positives are
   weight-proportional edge draws, negatives come from the degree^0.75
   distribution.
@@ -27,9 +30,9 @@ from typing import Callable, Iterator, Protocol
 import numpy as np
 
 from repro.graph.alias import AliasSampler
-from repro.graph.heterograph import HeteroGraph, NodeId
-from repro.skipgram import NoiseDistribution, extract_pairs
-from repro.walks.corpus import WalkCorpus
+from repro.graph.heterograph import HeteroGraph
+from repro.skipgram import NoiseDistribution
+from repro.walks.corpus import WalkCorpus, extract_index_pairs
 
 
 @dataclass
@@ -62,8 +65,8 @@ class CorpusPipeline:
     Args:
         sample_corpus: zero-argument callable producing a fresh
             :class:`WalkCorpus` (walker draws happen inside it, so the
-            caller controls the walk policy and RNG).
-        index_of: node-ID → dense-index mapping of the trained matrix.
+            caller controls the walk policy and RNG).  The corpus matrix
+            must be in the index space of the trained matrix.
         num_nodes: number of rows of the trained matrix.
         window: Definition-6 context window for pair extraction.
         num_negatives: negatives drawn per positive pair.
@@ -81,7 +84,6 @@ class CorpusPipeline:
     def __init__(
         self,
         sample_corpus: Callable[[], WalkCorpus],
-        index_of: Callable[[NodeId], int],
         num_nodes: int,
         window: int,
         num_negatives: int = 5,
@@ -98,7 +100,6 @@ class CorpusPipeline:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.sample_corpus = sample_corpus
-        self.index_of = index_of
         self.num_nodes = num_nodes
         self.window = window
         self.num_negatives = num_negatives
@@ -110,27 +111,15 @@ class CorpusPipeline:
     # ------------------------------------------------------------------
     def pairs(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
         """Flatten ``corpus`` into (centers, contexts) index arrays."""
-        centers: list[int] = []
-        contexts: list[int] = []
-        index_of = self.index_of
-        for walk in corpus:
-            for center, context in extract_pairs(walk, self.window):
-                centers.append(index_of(center))
-                contexts.append(index_of(context))
-        return (
-            np.asarray(centers, dtype=np.int64),
-            np.asarray(contexts, dtype=np.int64),
-        )
+        return extract_index_pairs(corpus, self.window)
 
     def noise(self, corpus: WalkCorpus) -> NoiseDistribution:
         """The (cached) noise table, built on first use from ``corpus``."""
         if self._noise is None:
-            counts = np.zeros(self.num_nodes)
-            index_of = self.index_of
-            for node, count in corpus.node_frequencies().items():
-                counts[index_of(node)] = count
             self._noise = NoiseDistribution(
-                counts, self.num_nodes, power=self.noise_power
+                corpus.frequency_counts(self.num_nodes),
+                self.num_nodes,
+                power=self.noise_power,
             )
         return self._noise
 

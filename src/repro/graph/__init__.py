@@ -10,10 +10,13 @@ part of the reproduction builds on:
   paired-subviews (Definitions 2-5).
 - :class:`~repro.graph.alias.AliasSampler` — O(1) discrete sampling used by
   every random-walk engine.
+- :mod:`~repro.graph.csr` — the flat (cached, per-graph) CSR adjacency
+  layout shared by the scalar and batched walk engines.
 - :mod:`~repro.graph.stats` — dataset statistics in the shape of Table II.
 """
 
 from repro.graph.alias import AliasSampler
+from repro.graph.csr import CSRAdjacency, csr_adjacency
 from repro.graph.heterograph import HeteroGraph
 from repro.graph.io import (
     load_embeddings,
@@ -32,6 +35,8 @@ from repro.graph.views import (
 
 __all__ = [
     "AliasSampler",
+    "CSRAdjacency",
+    "csr_adjacency",
     "HeteroGraph",
     "GraphStatistics",
     "compute_statistics",

@@ -8,22 +8,35 @@ walks).  Baselines need their own walkers: uniform walks (DeepWalk and the
 simple-walk ablation), second-order p/q walks (Node2Vec), and
 metapath-constrained walks (Metapath2Vec).
 
-All walkers operate on one :class:`~repro.graph.views.View` (or a plain
-:class:`~repro.graph.heterograph.HeteroGraph`) and return lists of node IDs.
+Two engine families share one cached CSR adjacency per graph:
+
+- scalar walkers (:mod:`repro.walks.walker`) advance one walk at a time
+  and return node-ID lists — the distributional reference;
+- lockstep walkers (:mod:`repro.walks.batched`) advance a whole corpus
+  per vectorized step and return index-space matrices — the production
+  path of :func:`~repro.walks.corpus.build_corpus`.
 """
 
-from repro.walks.corpus import WalkCorpus, build_corpus
+from repro.walks.batched import (
+    BatchedBiasedCorrelatedWalker,
+    BatchedUniformWalker,
+)
+from repro.walks.corpus import WalkCorpus, build_corpus, extract_index_pairs
 from repro.walks.metapath import MetapathWalker
 from repro.walks.node2vec import Node2VecWalker
-from repro.walks.policy import walks_per_node
+from repro.walks.policy import walk_counts, walks_per_node
 from repro.walks.walker import BiasedCorrelatedWalker, UniformWalker
 
 __all__ = [
     "BiasedCorrelatedWalker",
     "UniformWalker",
+    "BatchedBiasedCorrelatedWalker",
+    "BatchedUniformWalker",
     "Node2VecWalker",
     "MetapathWalker",
     "WalkCorpus",
     "build_corpus",
+    "extract_index_pairs",
+    "walk_counts",
     "walks_per_node",
 ]

@@ -1,54 +1,191 @@
-"""Walk-corpus construction shared by TransN and the walk-based baselines."""
+"""Index-space walk corpora shared by TransN and the walk-based baselines.
+
+A :class:`WalkCorpus` is a dense ``(num_walks, length)`` int64 matrix of
+node *indices* plus a per-walk length array — the exact representation the
+lockstep engines in :mod:`repro.walks.batched` emit.  Every corpus
+operation downstream of walk sampling (pair extraction, noise counts,
+cross-view filtering, re-chunking) is an array transformation of that
+matrix, so the walk → skip-gram-batch pipeline never leaves NumPy.
+
+Slots past a walk's end hold :data:`~repro.walks.batched.PAD` (``-1``);
+``lengths[i]`` is the number of real nodes of walk ``i``.  Scalar walkers
+(node2vec, metapath, the reference walkers) still produce node-ID lists;
+:meth:`WalkCorpus.from_paths` packs those into the same matrix form.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence
 
 import numpy as np
 
+from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import View
-from repro.walks.policy import walks_per_node
+from repro.walks.batched import PAD
+from repro.walks.policy import walk_counts
 
 
 class Walker(Protocol):
-    """Anything with a ``walk(start, length) -> list[NodeId]`` method."""
+    """A scalar walker: ``walk(start, length) -> list[NodeId]``."""
 
     def walk(self, start: NodeId, length: int) -> list[NodeId]: ...
 
 
-@dataclass
+class BatchedWalker(Protocol):
+    """A lockstep walker: ``walk_batch(starts, length) -> (matrix, lengths)``."""
+
+    def walk_batch(
+        self, starts: np.ndarray, length: int
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+
 class WalkCorpus:
-    """A bag of sampled paths over one graph/view.
+    """A bag of sampled paths over one graph/view, in index space.
 
     Attributes:
-        walks: the sampled paths (node-ID lists).
-        length: the requested walk length (paths may be shorter if a walk
-            got stuck on an isolated node).
+        matrix: ``(num_walks, length)`` int64 node-index matrix, ``-1``
+            past each walk's end.
+        lengths: ``(num_walks,)`` int64 real length per walk.
+        length: the requested walk length (walks may be shorter if they
+            got stuck on a neighbour-less node).
+        graph: the graph whose index space the matrix lives in; optional
+            (``None`` leaves ID translation unavailable but every array
+            operation intact).
     """
 
-    walks: list[list[NodeId]]
-    length: int
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        lengths: np.ndarray,
+        length: int,
+        graph: HeteroGraph | None = None,
+    ) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        if self.matrix.ndim != 2:
+            raise ValueError(
+                f"corpus matrix must be 2-D, got shape {self.matrix.shape}"
+            )
+        if self.lengths.shape != (self.matrix.shape[0],):
+            raise ValueError(
+                f"lengths shape {self.lengths.shape} does not match "
+                f"{self.matrix.shape[0]} walks"
+            )
+        self.length = length
+        self.graph = graph
 
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Sequence[Sequence],
+        length: int,
+        graph: HeteroGraph | None = None,
+    ) -> "WalkCorpus":
+        """Pack variable-length paths into the dense matrix form.
+
+        With ``graph``, paths are node-ID sequences mapped through
+        ``graph.index_of``; without, they must already be integer indices.
+        """
+        width = max((len(p) for p in paths), default=0)
+        width = max(width, length)
+        matrix = np.full((len(paths), width), PAD, dtype=np.int64)
+        lengths = np.zeros(len(paths), dtype=np.int64)
+        for i, path in enumerate(paths):
+            row = (
+                [graph.index_of(n) for n in path]
+                if graph is not None
+                else list(path)
+            )
+            matrix[i, : len(row)] = row
+            lengths[i] = len(row)
+        return cls(matrix, lengths, length, graph)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.walks)
+        return int(self.matrix.shape[0])
 
-    def __iter__(self):
-        return iter(self.walks)
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate trimmed index rows (one 1-D array per walk)."""
+        for i in range(self.matrix.shape[0]):
+            yield self.matrix[i, : self.lengths[i]]
+
+    def paths(self) -> list[list[NodeId]]:
+        """The walks as node-ID lists (requires ``graph``)."""
+        if self.graph is None:
+            raise ValueError("corpus has no graph to translate indices with")
+        node_at = self.graph.node_at
+        return [[node_at(int(i)) for i in row] for row in self]
+
+    def frequency_counts(self, num_nodes: int) -> np.ndarray:
+        """Occurrence count per node index — the skip-gram noise counts.
+
+        One ``np.unique`` over the (valid part of the) index matrix.
+        """
+        counts = np.zeros(num_nodes, dtype=np.float64)
+        flat = self.matrix[self.matrix != PAD]
+        if flat.size:
+            present, present_counts = np.unique(flat, return_counts=True)
+            counts[present] = present_counts
+        return counts
 
     def node_frequencies(self) -> dict[NodeId, int]:
-        """Occurrence counts over all paths — the skip-gram noise counts."""
-        counts: dict[NodeId, int] = {}
-        for walk in self.walks:
-            for node in walk:
-                counts[node] = counts.get(node, 0) + 1
-        return counts
+        """Occurrence counts keyed by node ID (index when no graph)."""
+        flat = self.matrix[self.matrix != PAD]
+        present, present_counts = np.unique(flat, return_counts=True)
+        if self.graph is None:
+            return {
+                int(i): int(c) for i, c in zip(present, present_counts)
+            }
+        node_at = self.graph.node_at
+        return {
+            node_at(int(i)): int(c) for i, c in zip(present, present_counts)
+        }
+
+
+def extract_index_pairs(
+    corpus: WalkCorpus, window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All Definition-6 (center, context) index pairs of ``corpus``.
+
+    Vectorized over the whole matrix: for each offset ``d`` in
+    ``1..window`` the pairs ``(n_k, n_{k+d})`` and ``(n_{k+d}, n_k)`` of
+    every walk are two strided slices; masking by walk length drops the
+    padding.  Pair multiset equals the scalar per-walk window scan; the
+    ordering is offset-major instead of walk-major (corpora are shuffled,
+    so SGD sees the same mix).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    matrix, lengths = corpus.matrix, corpus.lengths
+    width = matrix.shape[1]
+    centers: list[np.ndarray] = []
+    contexts: list[np.ndarray] = []
+    for d in range(1, window + 1):
+        if matrix.shape[0] == 0 or d >= width:
+            break
+        left = matrix[:, : width - d]
+        right = matrix[:, d:]
+        valid = (np.arange(width - d)[None, :] + d) < lengths[:, None]
+        a, b = left[valid], right[valid]
+        centers.append(a)
+        contexts.append(b)
+        centers.append(b)
+        contexts.append(a)
+    if not centers:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(centers), np.concatenate(contexts)
 
 
 def build_corpus(
     view_or_graph: View | HeteroGraph,
-    walker: Walker,
+    walker: Walker | BatchedWalker,
     length: int,
     floor: int = 10,
     cap: int = 32,
@@ -56,6 +193,11 @@ def build_corpus(
     rng: np.random.Generator | None = None,
 ) -> WalkCorpus:
     """Sample walks from every node under the degree-based count policy.
+
+    With a lockstep walker (anything exposing ``walk_batch``) the whole
+    corpus is one batched call: start indices are ``np.repeat`` of the
+    per-node counts and the walker advances every walk simultaneously.
+    Scalar walkers fall back to one ``walk()`` call per start.
 
     Args:
         view_or_graph: where to walk.
@@ -70,24 +212,29 @@ def build_corpus(
         raise ValueError(f"walk length must be >= 2, got {length}")
     graph = view_or_graph.graph if isinstance(view_or_graph, View) else view_or_graph
     rng = rng or np.random.default_rng()
-    walks: list[list[NodeId]] = []
-    for node in graph.nodes:
-        if graph.degree(node) == 0:
-            continue
-        count = (
-            walks_per_node_override
-            if walks_per_node_override is not None
-            else walks_per_node(graph, node, floor=floor, cap=cap)
-        )
-        for _ in range(count):
-            walks.append(walker.walk(node, length))
-    order = rng.permutation(len(walks))
-    return WalkCorpus(walks=[walks[i] for i in order], length=length)
+    degrees = csr_adjacency(graph).degrees
+    if walks_per_node_override is not None:
+        counts = np.full(graph.num_nodes, walks_per_node_override, dtype=np.int64)
+    else:
+        counts = walk_counts(degrees, floor=floor, cap=cap)
+    counts = np.where(degrees > 0, counts, 0)  # isolated nodes start nothing
+    starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), counts)
+    if hasattr(walker, "walk_batch"):
+        matrix, lengths = walker.walk_batch(starts, length)
+        corpus = WalkCorpus(matrix, lengths, length, graph)
+    else:
+        node_at = graph.node_at
+        paths = [walker.walk(node_at(int(i)), length) for i in starts]
+        corpus = WalkCorpus.from_paths(paths, length, graph)
+    order = rng.permutation(len(corpus))
+    return WalkCorpus(
+        corpus.matrix[order], corpus.lengths[order], length, graph
+    )
 
 
 def filter_to_nodes(
     corpus: WalkCorpus,
-    keep: set[NodeId] | frozenset[NodeId],
+    keep: Iterable[NodeId],
     min_length: int = 2,
 ) -> WalkCorpus:
     """Drop every node not in ``keep`` from every path.
@@ -95,29 +242,62 @@ def filter_to_nodes(
     This is the cross-view preprocessing step: walks over paired-subviews
     are filtered down to the common nodes of the view-pair.  Paths that end
     up shorter than ``min_length`` are discarded.
+
+    Vectorized as a stable compaction: a boolean keep-matrix is gathered
+    from a node mask, surviving entries are slid left with one stable
+    ``argsort`` per corpus, and the freed tail is re-padded.
     """
-    filtered = []
-    for walk in corpus.walks:
-        reduced = [node for node in walk if node in keep]
-        if len(reduced) >= min_length:
-            filtered.append(reduced)
-    return WalkCorpus(walks=filtered, length=corpus.length)
+    matrix, lengths = corpus.matrix, corpus.lengths
+    if corpus.graph is not None:
+        graph = corpus.graph
+        keep_idx = np.fromiter(
+            (graph.index_of(n) for n in keep if graph.has_node(n)),
+            dtype=np.int64,
+        )
+        num_nodes = graph.num_nodes
+    else:
+        keep_idx = np.fromiter((int(n) for n in keep), dtype=np.int64)
+        upper = int(matrix.max(initial=-1))
+        if keep_idx.size:
+            upper = max(upper, int(keep_idx.max()))
+        num_nodes = upper + 1
+    mask = np.zeros(max(num_nodes, 1), dtype=bool)
+    mask[keep_idx] = True
+    kept = np.zeros(matrix.shape, dtype=bool)
+    valid = matrix != PAD
+    kept[valid] = mask[matrix[valid]]
+    new_lengths = kept.sum(axis=1)
+    rows = new_lengths >= min_length
+    order = np.argsort(~kept[rows], axis=1, kind="stable")
+    compact = np.take_along_axis(matrix[rows], order, axis=1)
+    new_lengths = new_lengths[rows]
+    width = matrix.shape[1]
+    compact[np.arange(width)[None, :] >= new_lengths[:, None]] = PAD
+    return WalkCorpus(compact, new_lengths, corpus.length, corpus.graph)
 
 
-def chunk_paths(
-    corpus: WalkCorpus, chunk_length: int
-) -> list[Sequence[NodeId]]:
+def chunk_paths(corpus: WalkCorpus, chunk_length: int) -> np.ndarray:
     """Cut each path into non-overlapping chunks of exactly ``chunk_length``.
 
     The translators' feed-forward layers have a (path_len x path_len)
     weight (Equation 9) and therefore need fixed-length inputs; filtered
     cross-view paths have variable length, so we re-chunk them.  Remainders
     shorter than ``chunk_length`` are dropped.
+
+    Returns:
+        ``(num_chunks, chunk_length)`` int64 index matrix (no padding —
+        every chunk is full by construction).
     """
     if chunk_length < 2:
         raise ValueError(f"chunk length must be >= 2, got {chunk_length}")
-    chunks: list[Sequence[NodeId]] = []
-    for walk in corpus.walks:
-        for offset in range(0, len(walk) - chunk_length + 1, chunk_length):
-            chunks.append(walk[offset : offset + chunk_length])
-    return chunks
+    counts = corpus.lengths // chunk_length
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty((0, chunk_length), dtype=np.int64)
+    row = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    first = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - first
+    cols = (within * chunk_length)[:, None] + np.arange(
+        chunk_length, dtype=np.int64
+    )[None, :]
+    return corpus.matrix[row[:, None], cols]

@@ -9,7 +9,31 @@ so its embedding is trained.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graph.heterograph import HeteroGraph, NodeId
+
+
+def _validate_bounds(floor: int, cap: int) -> None:
+    if floor < 1:
+        raise ValueError(f"floor must be >= 1, got {floor}")
+    if cap < floor:
+        raise ValueError(f"cap ({cap}) must be >= floor ({floor})")
+
+
+def walk_counts(
+    degrees: np.ndarray, floor: int = 10, cap: int = 32
+) -> np.ndarray:
+    """Vectorized policy: ``max(min(degree, cap), floor)`` per node.
+
+    ``degrees`` is the per-node degree array (CSR order); the batched
+    corpus builder turns the result into walk start indices with one
+    ``np.repeat``.
+    """
+    _validate_bounds(floor, cap)
+    return np.maximum(
+        np.minimum(np.asarray(degrees, dtype=np.int64), cap), floor
+    )
 
 
 def walks_per_node(
@@ -24,8 +48,5 @@ def walks_per_node(
         floor: minimum walks per node (paper: 10).
         cap: maximum walks per node (paper: 32).
     """
-    if floor < 1:
-        raise ValueError(f"floor must be >= 1, got {floor}")
-    if cap < floor:
-        raise ValueError(f"cap ({cap}) must be >= floor ({floor})")
+    _validate_bounds(floor, cap)
     return max(min(graph.degree(node), cap), floor)

@@ -14,51 +14,24 @@ stepping to ``n_{k+1}`` is (Equation 4):
 ``pi_2`` can reach exactly zero for the single worst candidate; we floor it
 at a small epsilon so that the distribution stays well-defined when that
 candidate is the only neighbour.
+
+These walkers advance one walk at a time and serve as the distributional
+reference for the vectorized lockstep engines in
+:mod:`repro.walks.batched`, which sample the *same* Equation 6-7
+distributions but advance a whole corpus per array operation.  Both share
+one cached :class:`~repro.graph.csr.CSRAdjacency` per graph, so multiple
+walkers over the same view pay for a single O(V+E) adjacency build.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.alias import AliasSampler
+from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import View
 
 _PI2_FLOOR = 1e-9
-
-
-class _AdjacencyArrays:
-    """Per-node neighbour/weight arrays in dense-index space.
-
-    Both walkers share this cache: for node index ``i``,
-    ``neighbors[i]`` is an int array of neighbour indices,
-    ``weights[i]`` the matching weight array, and ``alias[i]`` an
-    :class:`AliasSampler` over those weights (``None`` for isolated
-    nodes), giving O(1) pi_1 draws per step.
-    """
-
-    def __init__(self, graph: HeteroGraph) -> None:
-        self.graph = graph
-        n = graph.num_nodes
-        self.neighbors: list[np.ndarray] = []
-        self.weights: list[np.ndarray] = []
-        self.alias: list[AliasSampler | None] = []
-        self.delta: np.ndarray = np.zeros(n)
-        for i in range(n):
-            incident = graph.incident(graph.node_at(i))
-            if incident:
-                nbr_idx = np.array(
-                    [graph.index_of(nbr) for nbr, _, _ in incident],
-                    dtype=np.int64,
-                )
-                wts = np.array([w for _, w, _ in incident], dtype=np.float64)
-            else:
-                nbr_idx = np.empty(0, dtype=np.int64)
-                wts = np.empty(0, dtype=np.float64)
-            self.neighbors.append(nbr_idx)
-            self.weights.append(wts)
-            self.alias.append(AliasSampler(wts) if wts.size else None)
-            self.delta[i] = (wts.max() - wts.min()) if wts.size else 0.0
 
 
 def _resolve_graph(view_or_graph: View | HeteroGraph) -> tuple[HeteroGraph, bool]:
@@ -76,7 +49,9 @@ class UniformWalker:
     """Simple random walks: uniform over neighbours, weights ignored.
 
     This is both DeepWalk's walker and the paper's
-    ``TransN-With-Simple-Walk`` ablation.
+    ``TransN-With-Simple-Walk`` ablation.  It only reads the CSR
+    structure arrays — the lazily-built alias tables (which it would
+    ignore) are never constructed on its behalf.
     """
 
     def __init__(
@@ -85,7 +60,7 @@ class UniformWalker:
         rng: np.random.Generator | None = None,
     ) -> None:
         self.graph, _ = _resolve_graph(view_or_graph)
-        self._adj = _AdjacencyArrays(self.graph)
+        self._csr = csr_adjacency(self.graph)
         self.rng = rng or np.random.default_rng()
 
     def walk(self, start: NodeId, length: int) -> list[NodeId]:
@@ -95,10 +70,11 @@ class UniformWalker:
         inside a view, but plain graphs may contain isolated nodes).
         """
         graph = self.graph
+        csr = self._csr
         current = graph.index_of(start)
         path = [current]
         for _ in range(length - 1):
-            nbrs = self._adj.neighbors[current]
+            nbrs = csr.neighbors(current)
             if nbrs.size == 0:
                 break
             current = int(nbrs[int(self.rng.integers(nbrs.size))])
@@ -123,15 +99,18 @@ class BiasedCorrelatedWalker:
         """
         self.graph, is_heter = _resolve_graph(view_or_graph)
         self.correlated = is_heter if correlated is None else correlated
-        self._adj = _AdjacencyArrays(self.graph)
+        self._csr = csr_adjacency(self.graph)
         self.rng = rng or np.random.default_rng()
 
     def _step_weighted(self, current: int) -> tuple[int, float]:
         """One pi_1 step (O(1) alias draw); returns (next index, weight)."""
-        j = self._adj.alias[current].sample(self.rng)
-        return int(self._adj.neighbors[current][j]), float(
-            self._adj.weights[current][j]
-        )
+        csr = self._csr
+        prob, local = csr.alias_tables()
+        base = csr.indptr[current]
+        slot = int(self.rng.integers(csr.degrees[current]))
+        if self.rng.random() >= prob[base + slot]:
+            slot = int(local[base + slot])
+        return int(csr.indices[base + slot]), float(csr.weights[base + slot])
 
     def _step_correlated(
         self, current: int, previous_weight: float
@@ -141,29 +120,31 @@ class BiasedCorrelatedWalker:
         The pi_2 factor depends on the previous edge's weight, so this
         distribution cannot be alias-tabled ahead of time; the cumsum draw
         stays, but only on the correlated branch."""
-        weights = self._adj.weights[current]
-        delta = self._adj.delta[current]
-        pi1 = weights / weights.sum()
+        csr = self._csr
+        weights = csr.segment_weights(current)
+        delta = csr.delta[current]
+        pi1 = weights / csr.weight_sums[current]
         pi2 = 1.0 - (weights - previous_weight) / delta
         probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
         cumsum = np.cumsum(probs)
         pick = self.rng.random() * cumsum[-1]
         j = min(int(np.searchsorted(cumsum, pick, side="right")), probs.size - 1)
-        return int(self._adj.neighbors[current][j]), float(weights[j])
+        return int(csr.neighbors(current)[j]), float(weights[j])
 
     def walk(self, start: NodeId, length: int) -> list[NodeId]:
         """One biased (and, on heter-views, correlated) walk."""
         graph = self.graph
+        csr = self._csr
         current = graph.index_of(start)
         path = [current]
         previous_weight: float | None = None
         for _ in range(length - 1):
-            if self._adj.neighbors[current].size == 0:
+            if csr.degrees[current] == 0:
                 break
             use_pi2 = (
                 self.correlated
                 and previous_weight is not None
-                and self._adj.delta[current] > 0.0
+                and csr.delta[current] > 0.0
             )
             if use_pi2:
                 nxt, w = self._step_correlated(current, previous_weight)
@@ -182,24 +163,25 @@ class BiasedCorrelatedWalker:
         ``previous_weight`` None means a first step / homo-view step
         (pure Equation 6).
         """
+        csr = self._csr
         i = self.graph.index_of(current)
-        weights = self._adj.weights[i]
+        weights = csr.segment_weights(i)
         if weights.size == 0:
             return {}
         pi1 = weights / weights.sum()
         use_pi2 = (
             self.correlated
             and previous_weight is not None
-            and self._adj.delta[i] > 0.0
+            and csr.delta[i] > 0.0
         )
         if use_pi2:
-            pi2 = 1.0 - (weights - previous_weight) / self._adj.delta[i]
+            pi2 = 1.0 - (weights - previous_weight) / csr.delta[i]
             probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
         else:
             probs = pi1
         probs = probs / probs.sum()
         result: dict[NodeId, float] = {}
-        for j, p in zip(self._adj.neighbors[i], probs):
+        for j, p in zip(csr.neighbors(i), probs):
             node = self.graph.node_at(int(j))
             result[node] = result.get(node, 0.0) + float(p)
         return result

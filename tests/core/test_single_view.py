@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.single_view import SingleViewTrainer
 from repro.graph import separate_views
-from repro.walks import BiasedCorrelatedWalker, UniformWalker
+from repro.walks import BatchedBiasedCorrelatedWalker, BatchedUniformWalker
 
 
 @pytest.fixture
@@ -43,8 +43,8 @@ class TestConstruction:
     def test_walker_selection(self, heter_view, rng):
         default_trainer, _ = make_trainer(heter_view, rng)
         simple_trainer, _ = make_trainer(heter_view, rng, simple_walk=True)
-        assert isinstance(default_trainer.walker, BiasedCorrelatedWalker)
-        assert isinstance(simple_trainer.walker, UniformWalker)
+        assert isinstance(default_trainer.walker, BatchedBiasedCorrelatedWalker)
+        assert isinstance(simple_trainer.walker, BatchedUniformWalker)
 
 
 class TestTraining:

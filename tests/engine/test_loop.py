@@ -275,8 +275,7 @@ class TestSkipGramPhaseIntegration:
         walks = [[i % num_nodes for i in range(j, j + 4)] for j in range(12)]
 
         pipeline = CorpusPipeline(
-            sample_corpus=lambda: WalkCorpus(walks, 4),
-            index_of=lambda n: int(n),
+            sample_corpus=lambda: WalkCorpus.from_paths(walks, 4),
             num_nodes=num_nodes,
             window=1,
             num_negatives=2,

@@ -10,8 +10,9 @@ from repro.walks.corpus import WalkCorpus
 def _fixed_corpus_pipeline(rng, *, batch_size=8, num_negatives=3, window=2):
     walks = [[(i + j) % 5 for j in range(6)] for i in range(4)]
     return CorpusPipeline(
-        sample_corpus=lambda: WalkCorpus([list(w) for w in walks], 6),
-        index_of=lambda n: int(n),
+        sample_corpus=lambda: WalkCorpus.from_paths(
+            [list(w) for w in walks], 6
+        ),
         num_nodes=5,
         window=window,
         num_negatives=num_negatives,
@@ -44,6 +45,19 @@ class TestCorpusPipeline:
         assert all(len(b) == 7 for b in batches[:-1])
         assert 1 <= len(batches[-1]) <= 7
 
+    def test_pair_multiset_matches_window_scan(self, rng):
+        """The vectorized extraction equals the per-walk window scan."""
+        from repro.skipgram import extract_pairs
+
+        pipeline = _fixed_corpus_pipeline(rng, window=2)
+        corpus = pipeline.sample_corpus()
+        centers, contexts = pipeline.pairs(corpus)
+        expected = []
+        for walk in corpus.paths() if corpus.graph else corpus:
+            expected.extend(extract_pairs(list(walk), 2))
+        got = sorted(zip(centers.tolist(), contexts.tolist()))
+        assert got == sorted((int(a), int(b)) for a, b in expected)
+
     def test_indices_in_range(self, rng):
         pipeline = _fixed_corpus_pipeline(rng)
         for batch in pipeline.epoch():
@@ -59,6 +73,16 @@ class TestCorpusPipeline:
         list(pipeline.epoch())
         assert pipeline._noise is first
 
+    def test_noise_counts_are_corpus_frequencies(self, rng):
+        pipeline = _fixed_corpus_pipeline(rng)
+        corpus = pipeline.sample_corpus()
+        counts = corpus.frequency_counts(5)
+        expected = np.zeros(5)
+        for walk in corpus:
+            for node in walk:
+                expected[int(node)] += 1
+        np.testing.assert_array_equal(counts, expected)
+
     def test_same_seed_streams_identical_batches(self):
         runs = []
         for _ in range(2):
@@ -70,8 +94,7 @@ class TestCorpusPipeline:
 
     def test_empty_corpus_yields_nothing(self, rng):
         pipeline = CorpusPipeline(
-            sample_corpus=lambda: WalkCorpus([], 0),
-            index_of=lambda n: int(n),
+            sample_corpus=lambda: WalkCorpus.from_paths([], 0),
             num_nodes=3,
             window=2,
             rng=rng,
@@ -80,8 +103,7 @@ class TestCorpusPipeline:
 
     def test_validation(self, rng):
         kwargs = dict(
-            sample_corpus=lambda: WalkCorpus([], 0),
-            index_of=lambda n: int(n),
+            sample_corpus=lambda: WalkCorpus.from_paths([], 0),
             num_nodes=3,
         )
         with pytest.raises(ValueError):

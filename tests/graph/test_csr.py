@@ -1,0 +1,96 @@
+"""Tests for the flat CSR adjacency layout and its per-graph cache."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HeteroGraph, csr_adjacency, separate_views
+from repro.walks import BiasedCorrelatedWalker, UniformWalker
+
+
+class TestLayout:
+    def test_segments_match_incident_lists(self, academic):
+        csr = csr_adjacency(academic)
+        for i, node in enumerate(academic.nodes):
+            incident = academic.incident(node)
+            assert csr.degrees[i] == len(incident)
+            nbrs = [academic.index_of(n) for n, _, _ in incident]
+            assert csr.neighbors(i).tolist() == nbrs
+            np.testing.assert_allclose(
+                csr.segment_weights(i), [w for _, w, _ in incident]
+            )
+
+    def test_per_node_reductions(self, book_view):
+        csr = csr_adjacency(book_view)
+        for i, node in enumerate(book_view.nodes):
+            weights = [w for _, w, _ in book_view.incident(node)]
+            assert csr.weight_sums[i] == pytest.approx(sum(weights))
+            spread = max(weights) - min(weights) if weights else 0.0
+            assert csr.delta[i] == pytest.approx(spread)
+
+    def test_isolated_node_zero_row(self):
+        g = HeteroGraph()
+        g.add_node("iso", "t")
+        g.add_node("a", "t")
+        g.add_node("b", "t")
+        g.add_edge("a", "b", "e", weight=3.0)
+        csr = csr_adjacency(g)
+        i = g.index_of("iso")
+        assert csr.degrees[i] == 0
+        assert csr.neighbors(i).size == 0
+        assert csr.weight_sums[i] == 0.0
+        assert csr.delta[i] == 0.0
+
+    def test_alias_tables_reproduce_pi1(self, book_view, rng):
+        csr = csr_adjacency(book_view)
+        prob, local = csr.alias_tables()
+        i = book_view.index_of("B2")
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        draws = rng.integers(0, hi - lo, size=40_000)
+        coins = rng.random(40_000)
+        slots = np.where(coins < prob[lo + draws], draws, local[lo + draws])
+        weights = csr.segment_weights(i)
+        for j, w in enumerate(weights):
+            share = (slots == j).mean()
+            assert share == pytest.approx(w / weights.sum(), abs=0.02)
+
+
+class TestCacheSharing:
+    def test_cached_per_graph(self, academic):
+        assert csr_adjacency(academic) is csr_adjacency(academic)
+
+    def test_walkers_share_one_build(self, book_view, rng):
+        view = separate_views(book_view)[0]
+        a = UniformWalker(view, rng=rng)
+        b = BiasedCorrelatedWalker(view, rng=rng)
+        assert a._csr is b._csr
+        assert a._csr is csr_adjacency(view.graph)
+
+    def test_cache_invalidated_by_growth(self):
+        g = HeteroGraph()
+        g.add_node("a", "t")
+        g.add_node("b", "t")
+        g.add_edge("a", "b", "e")
+        first = csr_adjacency(g)
+        g.add_edge("a", "b", "e2", weight=2.0)
+        second = csr_adjacency(g)
+        assert second is not first
+        assert second.degrees[g.index_of("a")] == 2
+
+    def test_uniform_walker_never_builds_alias(self, rng):
+        g = HeteroGraph()
+        g.add_node("a", "t")
+        g.add_node("b", "t")
+        g.add_edge("a", "b", "e", weight=5.0)
+        walker = UniformWalker(g, rng=rng)
+        walker.walk("a", 4)
+        assert not csr_adjacency(g).alias_built
+
+    def test_biased_walker_builds_alias_lazily(self, rng):
+        g = HeteroGraph()
+        g.add_node("a", "t")
+        g.add_node("b", "t")
+        g.add_edge("a", "b", "e", weight=5.0)
+        walker = BiasedCorrelatedWalker(g, rng=rng)
+        assert not csr_adjacency(g).alias_built
+        walker.walk("a", 3)
+        assert csr_adjacency(g).alias_built
