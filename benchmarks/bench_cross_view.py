@@ -1,0 +1,204 @@
+"""Benchmark: per-chunk scalar vs. batched cross-view training epochs.
+
+Times :meth:`CrossViewTrainer.train_epoch` on synthetic view-pairs of
+growing size for both execution modes:
+
+- *scalar* (``batched=False``): the per-chunk reference path — one
+  autograd graph build, backward pass, translator Adam step and two
+  RowAdam updates per ``(path_len, d)`` chunk (the literal Algorithm 1
+  loop);
+- *batched* (``batched=True``): all chunks of a direction gathered into
+  one ``(num_chunks, path_len, d)`` tensor, one forward/backward and one
+  optimizer step per direction per epoch.
+
+Both modes run identical walk sampling (the PR-2 lockstep engine) from
+identically seeded generators, so the comparison isolates the translator
+hot loop.  Results land in ``BENCH_cross_view.json`` at the repository
+root.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_cross_view.py            # full
+    PYTHONPATH=src python benchmarks/bench_cross_view.py --fast     # CI smoke
+
+Fast mode shrinks the view-pairs to smoke-test sizes; its timings are not
+meaningful and its output should never be checked in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.cross_view import CrossViewTrainer  # noqa: E402
+from repro.graph import HeteroGraph, build_view_pairs, separate_views  # noqa: E402
+
+# (num_users, num_items, num_tags, edges_per_view, paths_per_epoch)
+FULL_SIZES = [
+    (200, 200, 100, 1_200, 40),
+    (800, 800, 400, 5_000, 80),
+    (2_000, 2_000, 1_000, 12_000, 160),
+]
+FAST_SIZES = [
+    (30, 30, 20, 150, 6),
+    (60, 60, 40, 350, 10),
+]
+
+
+def synthetic_view_pair(
+    num_users: int, num_items: int, num_tags: int, edges_per_view: int, seed: int
+):
+    """A weighted tri-partite graph whose two views share the item nodes.
+
+    ``click`` edges (user-item) and ``tag`` edges (item-tag) induce two
+    heter-views with the items as common nodes — the Figure 4 app-store
+    shape at benchmark scale.  Weights 1..5 exercise the Eq. 6-7 walker.
+    """
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph()
+    for i in range(num_users):
+        graph.add_node(f"u{i}", "user")
+    for i in range(num_items):
+        graph.add_node(f"i{i}", "item")
+    for i in range(num_tags):
+        graph.add_node(f"t{i}", "tag")
+    seen: set[tuple[str, str]] = set()
+    for u, v, w in zip(
+        rng.integers(0, num_users, size=edges_per_view),
+        rng.integers(0, num_items, size=edges_per_view),
+        rng.integers(1, 6, size=edges_per_view),
+    ):
+        key = (f"u{u}", f"i{v}")
+        if key not in seen:
+            seen.add(key)
+            graph.add_edge(*key, "click", weight=float(w))
+    for u, v, w in zip(
+        rng.integers(0, num_items, size=edges_per_view),
+        rng.integers(0, num_tags, size=edges_per_view),
+        rng.integers(1, 6, size=edges_per_view),
+    ):
+        key = (f"i{u}", f"t{v}")
+        if key not in seen:
+            seen.add(key)
+            graph.add_edge(*key, "tag", weight=float(w))
+    views = separate_views(graph)
+    return build_view_pairs(views)[0]
+
+
+def make_trainer(pair, seed: int, paths_per_epoch: int, dim: int, batched: bool):
+    rng = np.random.default_rng(seed)
+    emb_i = rng.normal(0, 0.1, size=(pair.view_i.num_nodes, dim))
+    emb_j = rng.normal(0, 0.1, size=(pair.view_j.num_nodes, dim))
+    return CrossViewTrainer(
+        pair,
+        emb_i,
+        emb_j,
+        rng=rng,
+        dim=dim,
+        paths_per_epoch=paths_per_epoch,
+        batched=batched,
+    )
+
+
+def timed_epochs(trainer, repeats: int) -> tuple[float, int]:
+    """Best epoch wall-clock and the chunk count of the last epoch."""
+    best = float("inf")
+    num_paths = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        losses = trainer.train_epoch()
+        best = min(best, time.perf_counter() - start)
+        num_paths = losses.num_paths
+    return best, num_paths
+
+
+def bench_one_size(size: tuple, dim: int, seed: int, repeats: int) -> dict:
+    num_users, num_items, num_tags, edges_per_view, paths = size
+    pair = synthetic_view_pair(num_users, num_items, num_tags, edges_per_view, seed)
+    scalar = make_trainer(pair, seed, paths, dim, batched=False)
+    batched = make_trainer(pair, seed, paths, dim, batched=True)
+    # warm the shared CSR/alias caches so one-time costs drop out
+    scalar._sample_chunks(scalar.sub_i, scalar._walker_i, scalar._starts_i)
+    batched._sample_chunks(batched.sub_i, batched._walker_i, batched._starts_i)
+
+    scalar_s, scalar_paths = timed_epochs(scalar, repeats)
+    batched_s, batched_paths = timed_epochs(batched, repeats)
+    return {
+        "nodes": pair.view_i.num_nodes + pair.view_j.num_nodes,
+        "common_nodes": len(pair.common_nodes),
+        "edges_view_i": pair.view_i.num_edges,
+        "edges_view_j": pair.view_j.num_edges,
+        "paths_per_epoch": paths,
+        "chunks_scalar": scalar_paths,
+        "chunks_batched": batched_paths,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes for CI; timings not meaningful",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_cross_view.json",
+        help="output JSON path (default: BENCH_cross_view.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dim", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    sizes = FAST_SIZES if args.fast else FULL_SIZES
+    repeats = 2 if args.fast else 3
+
+    results = []
+    for size in sizes:
+        print(
+            f"benchmarking {size[0]}+{size[1]}+{size[2]} nodes, "
+            f"{size[4]} paths/epoch ...",
+            flush=True,
+        )
+        entry = bench_one_size(size, args.dim, args.seed, repeats)
+        print(
+            f"  chunks {entry['chunks_batched']:5d}"
+            f"  scalar {entry['scalar_s']:8.3f}s"
+            f"  batched {entry['batched_s']:8.3f}s"
+            f"  speedup {entry['speedup']:6.1f}x"
+        )
+        results.append(entry)
+
+    largest = results[-1]
+    payload = {
+        "benchmark": "cross_view",
+        "fast_mode": args.fast,
+        "dim": args.dim,
+        "cross_path_len": 6,
+        "num_encoders": 2,
+        "results": results,
+        "largest_pair": {
+            "nodes": largest["nodes"],
+            "common_nodes": largest["common_nodes"],
+            "paths_per_epoch": largest["paths_per_epoch"],
+            "epoch_speedup": largest["speedup"],
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

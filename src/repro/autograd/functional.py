@@ -52,6 +52,10 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
 
 
 def l2_normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
-    """Normalize each row of a 2-D tensor to unit L2 norm (differentiably)."""
+    """Normalize rows (the last axis) to unit L2 norm (differentiably).
+
+    Works on any leading batch shape: a ``(N, p, d)`` tensor normalizes
+    each of its ``N * p`` rows independently.
+    """
     norms = (x * x).sum(axis=-1, keepdims=True).clip_min(eps).sqrt()
     return x / norms

@@ -269,6 +269,13 @@ class Tensor:
         return self._make(self.data**exponent, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
+        """Matrix product with numpy's batching semantics.
+
+        Both operands may carry leading batch axes: ``(N, p, d) @ (N, d, p)``
+        multiplies per batch element, and a 2-D operand broadcasts against a
+        batched one (``(p, p) @ (N, p, d)``).  Gradients of broadcast
+        operands are reduced over the batch axes by :func:`_unbroadcast`.
+        """
         other = self._coerce(other)
         if self.ndim < 2 or other.ndim < 2:
             raise ValueError("matmul requires tensors with ndim >= 2")
@@ -290,13 +297,13 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
-    def transpose(self) -> "Tensor":
-        """Swap the last two axes."""
+    def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
+        """Swap two axes (default: the last two, batch axes untouched)."""
 
         def backward(grad):
-            return [(self, np.swapaxes(grad, -1, -2))]
+            return [(self, np.swapaxes(grad, axis1, axis2))]
 
-        return self._make(np.swapaxes(self.data, -1, -2), (self,), backward)
+        return self._make(np.swapaxes(self.data, axis1, axis2), (self,), backward)
 
     def reshape(self, *shape: int) -> "Tensor":
         original = self.shape

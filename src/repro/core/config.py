@@ -26,7 +26,10 @@ class TransNConfig:
             embedding rows updated by the cross-view algorithm (Theta_cross
             includes both; a higher embedding rate strengthens the
             cross-view alignment of view spaces, which the final averaging
-            of Section III-C depends on).
+            of Section III-C depends on).  The default is tuned for the
+            batched one-step-per-direction regime, where common nodes
+            receive one aggregated RowAdam step per direction per epoch
+            instead of one per chunk (DESIGN.md §2).
         num_negatives: negative samples per skip-gram pair.
         num_encoders: encoders H per translator (paper: 6).
         cross_path_len: fixed path length fed to translators after
@@ -49,6 +52,11 @@ class TransNConfig:
             well-posed reading of Eqs. 11-14; see DESIGN.md §2).  False
             gives the literal unnormalized inner product, kept for the
             design-ablation bench.
+        batched_cross_view: process all cross-view chunks of a direction
+            in one 3-D forward/backward with one Adam step per direction
+            per epoch (the minibatch reading of Algorithm 1, DESIGN.md
+            §2).  False keeps the per-chunk reference path: one autograd
+            graph and one optimizer step per chunk.
         view_weighting: how a node's view-specific embeddings combine
             into its final embedding.  "uniform" is the paper's equal
             average (Section III-C); "degree" — an extension beyond the
@@ -64,7 +72,7 @@ class TransNConfig:
     num_iterations: int = 6
     lr_single: float = 0.08
     lr_cross: float = 0.01
-    lr_cross_embeddings: float = 0.01
+    lr_cross_embeddings: float = 0.05
     num_negatives: int = 5
     num_encoders: int = 2
     cross_path_len: int = 6
@@ -77,6 +85,7 @@ class TransNConfig:
     use_translation_tasks: bool = True
     use_reconstruction_tasks: bool = True
     normalize_similarity: bool = True
+    batched_cross_view: bool = True
     view_weighting: str = "uniform"
 
     seed: int = 0

@@ -16,6 +16,14 @@ Similarity loss: Equations 11-14 score translated-vs-target paths by the
 row-wise inner product.  As recorded in DESIGN.md §2 we minimize
 ``1 - cosine`` of corresponding rows by default (the well-posed reading);
 ``normalize=False`` gives the literal unnormalized ``-<a, b>``.
+
+Batching: by default (``batched=True``) the trainer gathers *all* chunks
+of a direction into one ``(num_chunks, path_len, d)`` tensor, runs a
+single translator forward/backward, and applies **one** translator Adam
+step plus one aggregated :class:`RowAdam` update per direction per epoch
+— the minibatch reading of Algorithm 1's per-path steps (DESIGN.md §2).
+``batched=False`` keeps the per-chunk reference path: one autograd graph
+and one optimizer step per chunk, matching the paper's loop literally.
 """
 
 from __future__ import annotations
@@ -42,11 +50,7 @@ def _index_map(source: HeteroGraph, target: HeteroGraph) -> np.ndarray:
     Chunks are sampled in a subview's index space; one gather through
     this table re-bases them onto a view's embedding rows.
     """
-    table = np.full(source.num_nodes, -1, dtype=np.int64)
-    for i, node in enumerate(source.nodes):
-        if target.has_node(node):
-            table[i] = target.index_of(node)
-    return table
+    return target.indices_of(source.nodes)
 
 
 def similarity_loss(
@@ -57,6 +61,10 @@ def similarity_loss(
     ``normalize=True``: mean over rows of ``1 - cos(pred_row, target_row)``
     (bounded, scale-free).  ``normalize=False``: mean over rows of
     ``-<pred_row, target_row>`` — the literal sign-fixed Equation 11.
+
+    Also accepts ``(num_chunks, path_len, d)`` batches: rows normalize
+    along the last axis and the mean runs over every row of every chunk,
+    i.e. the mean over chunks of the per-chunk loss.
     """
     if prediction.shape != target.shape:
         raise ValueError(
@@ -104,6 +112,7 @@ class CrossViewTrainer:
         use_translation_tasks: bool = True,
         use_reconstruction_tasks: bool = True,
         normalize_similarity: bool = True,
+        batched: bool = True,
     ) -> None:
         if not (use_translation_tasks or use_reconstruction_tasks):
             raise ValueError("at least one cross-view task must be enabled")
@@ -116,6 +125,7 @@ class CrossViewTrainer:
         self.use_translation = use_translation_tasks
         self.use_reconstruction = use_reconstruction_tasks
         self.normalize = normalize_similarity
+        self.batched = batched
 
         self.sub_i, self.sub_j = paired_subviews(pair)
         walker_cls = (
@@ -160,15 +170,8 @@ class CrossViewTrainer:
         self._map_j_to_i = _index_map(self.sub_j.graph, pair.view_i.graph)
 
     def _start_indices(self, subview: View) -> np.ndarray:
-        graph = subview.graph
-        return np.fromiter(
-            (
-                graph.index_of(n)
-                for n in self._common
-                if graph.has_node(n)
-            ),
-            dtype=np.int64,
-        )
+        indices = subview.graph.indices_of(self._common)
+        return indices[indices >= 0]
 
     # ------------------------------------------------------------------
     # sampling
@@ -194,7 +197,7 @@ class CrossViewTrainer:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def _train_direction(
+    def _train_step(
         self,
         src_rows: np.ndarray,
         tgt_rows: np.ndarray,
@@ -205,13 +208,16 @@ class CrossViewTrainer:
         forward,
         backward,
     ) -> tuple[float, float]:
-        """One SGD step on one chunk in one direction.
+        """One forward/backward + one optimizer step on gathered rows.
 
-        ``src_rows``/``tgt_rows`` are the chunk's embedding rows in the
-        source/target view's index space.  ``forward`` translates
+        ``src_rows``/``tgt_rows`` are embedding-row index arrays in the
+        source/target view's index space — ``(path_len,)`` for a single
+        chunk or ``(num_chunks, path_len)`` for a whole direction; the
+        gathered tensors are 2-D or 3-D accordingly and the translators
+        batch over the leading axis.  ``forward`` translates
         source->target, ``backward`` target->source (used by the
         reconstruction task).  Returns (translation loss, reconstruction
-        loss) as floats.
+        loss) as floats, averaged over every path row involved.
         """
         a_src = Tensor(source_emb[src_rows], requires_grad=True)
         a_tgt = Tensor(target_emb[tgt_rows], requires_grad=True)
@@ -238,10 +244,69 @@ class CrossViewTrainer:
         total.backward()
         self._translator_optim.step()
         if a_src.grad is not None:
-            source_adam.update(src_rows, a_src.grad)
+            source_adam.update(
+                src_rows.reshape(-1), a_src.grad.reshape(-1, self.dim)
+            )
         if a_tgt.grad is not None:
-            target_adam.update(tgt_rows, a_tgt.grad)
+            target_adam.update(
+                tgt_rows.reshape(-1), a_tgt.grad.reshape(-1, self.dim)
+            )
         return t_loss_value, r_loss_value
+
+    def _train_direction(
+        self,
+        chunks: np.ndarray,
+        src_map: np.ndarray,
+        tgt_map: np.ndarray,
+        source_emb: np.ndarray,
+        target_emb: np.ndarray,
+        source_adam: RowOptimizer,
+        target_adam: RowOptimizer,
+        forward,
+        backward,
+    ) -> tuple[float, float, int]:
+        """Train one direction on its whole ``(num_chunks, path_len)`` matrix.
+
+        Batched mode gathers all chunks into one ``(num_chunks, path_len,
+        d)`` tensor, builds a single autograd graph whose Eq. 11-14 losses
+        are means over chunks, and applies one translator Adam step plus
+        one aggregated RowAdam update.  The per-chunk reference mode
+        (``batched=False``) replays the same chunks one 2-D graph and one
+        optimizer step at a time.  Returns summed (translation,
+        reconstruction) losses and the number of chunks processed, so the
+        caller's per-path averaging is identical in both modes.
+        """
+        num_chunks = chunks.shape[0]
+        if num_chunks == 0:
+            return 0.0, 0.0, 0
+        if self.batched:
+            t, r = self._train_step(
+                src_map[chunks],
+                tgt_map[chunks],
+                source_emb,
+                target_emb,
+                source_adam,
+                target_adam,
+                forward,
+                backward,
+            )
+            return t * num_chunks, r * num_chunks, num_chunks
+        t_sum = 0.0
+        r_sum = 0.0
+        for chunk in chunks:
+            t, r = self._train_step(
+                src_map[chunk],
+                tgt_map[chunk],
+                source_emb,
+                target_emb,
+                source_adam,
+                target_adam,
+                forward,
+                backward,
+            )
+            t_sum += t
+            r_sum += r
+        return t_sum, r_sum, num_chunks
 
     def train_epoch(self) -> CrossViewLosses:
         """Lines 9-12 of Algorithm 1 for this view-pair."""
@@ -252,34 +317,35 @@ class CrossViewTrainer:
         chunks_j = self._sample_chunks(
             self.sub_j, self._walker_j, self._starts_j
         )
-        for chunk in chunks_i:
-            t, r = self._train_direction(
-                self._map_i_to_i[chunk],
-                self._map_i_to_j[chunk],
+        directions = (
+            (
+                chunks_i,
+                self._map_i_to_i,
+                self._map_i_to_j,
                 self._emb_i,
                 self._emb_j,
                 self._row_adam_i,
                 self._row_adam_j,
                 self.translator_ij,
                 self.translator_ji,
-            )
-            losses.translation += t
-            losses.reconstruction += r
-            losses.num_paths += 1
-        for chunk in chunks_j:
-            t, r = self._train_direction(
-                self._map_j_to_j[chunk],
-                self._map_j_to_i[chunk],
+            ),
+            (
+                chunks_j,
+                self._map_j_to_j,
+                self._map_j_to_i,
                 self._emb_j,
                 self._emb_i,
                 self._row_adam_j,
                 self._row_adam_i,
                 self.translator_ji,
                 self.translator_ij,
-            )
+            ),
+        )
+        for direction in directions:
+            t, r, n = self._train_direction(*direction)
             losses.translation += t
             losses.reconstruction += r
-            losses.num_paths += 1
+            losses.num_paths += n
         if losses.num_paths:
             losses.translation /= losses.num_paths
             losses.reconstruction /= losses.num_paths

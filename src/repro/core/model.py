@@ -117,6 +117,7 @@ class TransN:
                 use_translation_tasks=cfg.use_translation_tasks,
                 use_reconstruction_tasks=cfg.use_reconstruction_tasks,
                 normalize_similarity=cfg.normalize_similarity,
+                batched=cfg.batched_cross_view,
             )
             for pair in self.view_pairs
         ]

@@ -71,6 +71,7 @@ class SingleViewTrainer:
         else:
             self.walker = BatchedBiasedCorrelatedWalker(view, rng=rng)
         self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
+        self._last_corpus: WalkCorpus | None = None
         self.pipeline = CorpusPipeline(
             sample_corpus=self.sample_corpus,
             num_nodes=view.num_nodes,
@@ -82,8 +83,12 @@ class SingleViewTrainer:
 
     # ------------------------------------------------------------------
     def sample_corpus(self) -> WalkCorpus:
-        """One round of walks under the degree-based count policy."""
-        return build_corpus(
+        """One round of walks under the degree-based count policy.
+
+        The corpus is kept around so :meth:`evaluate_loss` can score
+        monitoring pairs without resampling the whole view.
+        """
+        self._last_corpus = build_corpus(
             self.view,
             self.walker,
             length=self.walk_length,
@@ -91,6 +96,7 @@ class SingleViewTrainer:
             cap=self.walk_cap,
             rng=self.rng,
         )
+        return self._last_corpus
 
     def train_epoch(self, lr: float) -> float:
         """One pass (lines 4-7 of Algorithm 1): returns the mean SGNS loss."""
@@ -102,9 +108,27 @@ class SingleViewTrainer:
             batches += 1
         return total / batches if batches else 0.0
 
+    def _monitoring_corpus(self, num_pairs: int) -> WalkCorpus:
+        """A corpus to draw monitoring pairs from — the last training
+        epoch's corpus when one exists, otherwise a bounded fresh draw.
+
+        The bounded draw samples just enough walks from random start nodes
+        to cover ``num_pairs`` context pairs, instead of resampling the
+        entire view under the degree-based count policy (which on large
+        views costs as much as a training epoch's sampling).
+        """
+        if self._last_corpus is not None:
+            return self._last_corpus
+        num_walks = max(4, -(-num_pairs // self.walk_length))
+        starts = self.rng.integers(
+            self.view.num_nodes, size=num_walks
+        ).astype(np.int64)
+        matrix, lengths = self.walker.walk_batch(starts, self.walk_length)
+        return WalkCorpus(matrix, lengths, self.walk_length, self.view.graph)
+
     def evaluate_loss(self, num_pairs: int = 512) -> float:
-        """Monitoring loss on a fresh sample of pairs (no updates)."""
-        corpus = self.sample_corpus()
+        """Monitoring loss on a sample of pairs (no updates)."""
+        corpus = self._monitoring_corpus(num_pairs)
         centers, contexts = self.pipeline.pairs(corpus)
         if centers.size == 0:
             return 0.0

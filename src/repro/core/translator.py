@@ -5,6 +5,11 @@ A translator ``T_{i->j}`` projects the embedding matrix of a sampled path
 a stack of H encoders, each a parameter-free self-attention layer
 (Equation 8) followed by a path-mixing feed-forward layer (Equation 9).
 
+Translators also accept a batch of paths as a single
+``(num_chunks, path_len, d)`` tensor: every layer then runs one batched
+numpy op across all chunks, which is what lets the cross-view trainer do
+one forward/backward per direction instead of one per chunk.
+
 The Table V ablation ``TransN-With-Simple-Translator`` replaces each stack
 by a single feed-forward layer.
 """
@@ -15,6 +20,15 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.nn import Encoder, FeedForwardLayer, Module
+
+
+def _check_path_batch(a: Tensor, path_len: int, dim: int) -> None:
+    """Validate a ``(path_len, dim)`` path or ``(N, path_len, dim)`` batch."""
+    if a.ndim not in (2, 3) or a.shape[-2:] != (path_len, dim):
+        raise ValueError(
+            f"translator expects ({path_len}, {dim}) inputs "
+            f"(optionally with a leading chunk axis), got {a.shape}"
+        )
 
 
 class Translator(Module):
@@ -56,11 +70,7 @@ class Translator(Module):
         return 2 * len(self.encoders)
 
     def forward(self, a: Tensor) -> Tensor:
-        if a.shape != (self.path_len, self.dim):
-            raise ValueError(
-                f"translator expects ({self.path_len}, {self.dim}) inputs, "
-                f"got {a.shape}"
-            )
+        _check_path_batch(a, self.path_len, self.dim)
         for encoder in self.encoders:
             a = encoder(a)
         return a
@@ -80,11 +90,7 @@ class SimpleTranslator(Module):
         self.feed_forward = FeedForwardLayer(path_len, rng=rng)
 
     def forward(self, a: Tensor) -> Tensor:
-        if a.shape != (self.path_len, self.dim):
-            raise ValueError(
-                f"translator expects ({self.path_len}, {self.dim}) inputs, "
-                f"got {a.shape}"
-            )
+        _check_path_batch(a, self.path_len, self.dim)
         return self.feed_forward(a)
 
 

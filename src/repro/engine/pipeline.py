@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Protocol
 import numpy as np
 
 from repro.graph.alias import AliasSampler
+from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import NoiseDistribution
 from repro.walks.corpus import WalkCorpus, extract_index_pairs
@@ -174,9 +175,9 @@ class EdgeSamplingPipeline:
         self._targets = np.array(
             [graph.index_of(e.v) for e in edges], dtype=np.int64
         )
-        degrees = np.array(
-            [graph.weighted_degree(n) for n in graph.nodes], dtype=np.float64
-        )
+        # weighted degrees come precomputed (reduceat over the CSR weight
+        # segments) from the adjacency cache shared with the walkers
+        degrees = csr_adjacency(graph).weight_sums
         self._noise = NoiseDistribution(degrees, graph.num_nodes)
 
     def epoch(self) -> Iterator[SkipGramBatch]:

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 NodeId = Hashable
 
 
@@ -199,6 +201,23 @@ class HeteroGraph:
     def node_at(self, index: int) -> NodeId:
         """Inverse of :meth:`index_of`."""
         return self._nodes[index]
+
+    def indices_of(
+        self, nodes: Iterable[NodeId], missing: int = -1
+    ) -> np.ndarray:
+        """Dense index array for a sequence of nodes in one pass.
+
+        Unknown nodes map to ``missing`` instead of raising, which makes
+        the result directly usable as a gather table (the cross-view
+        trainer re-bases whole walk matrices through these).
+        """
+        nodes = nodes if isinstance(nodes, (list, tuple)) else list(nodes)
+        get = self._index.get
+        return np.fromiter(
+            (get(node, missing) for node in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
 
     def degree(self, node: NodeId) -> int:
         """Number of incident edges (parallel edges counted separately)."""

@@ -88,6 +88,10 @@ class SelfAttentionLayer(Module):
     The paper's attention is parameter-free (no query/key/value
     projections): attention scores come directly from inner products of the
     path's embedding rows, scaled by ``1/sqrt(d)`` as in Vaswani et al.
+
+    Accepts a single ``(path_len, d)`` matrix or a batch
+    ``(num_chunks, path_len, d)``; the batched form attends within each
+    chunk independently (one ``(N, p, p)`` score tensor, batched matmuls).
     """
 
     def __init__(self, dim: int) -> None:
@@ -100,7 +104,7 @@ class SelfAttentionLayer(Module):
             raise ValueError(
                 f"expected last dimension {self.dim}, got {a.shape[-1]}"
             )
-        scores = (a @ a.T) * (1.0 / math.sqrt(self.dim))
+        scores = (a @ a.transpose(-2, -1)) * (1.0 / math.sqrt(self.dim))
         attention = softmax(scores, axis=-1)
         return attention @ a
 
@@ -117,6 +121,9 @@ class FeedForwardLayer(Module):
     is close to the identity map — training then only has to learn the
     *deviation* between views, which keeps early reconstruction losses
     small and optimization stable.
+
+    Like :class:`SelfAttentionLayer`, accepts ``(path_len, d)`` or a
+    ``(num_chunks, path_len, d)`` batch mixed chunk-by-chunk.
     """
 
     def __init__(
@@ -139,10 +146,12 @@ class FeedForwardLayer(Module):
         self.bias = Tensor(np.zeros((path_len, 1)), requires_grad=True)
 
     def forward(self, a: Tensor) -> Tensor:
-        if a.shape[0] != self.path_len:
+        if a.shape[-2] != self.path_len:
             raise ValueError(
-                f"expected {self.path_len} path positions, got {a.shape[0]}"
+                f"expected {self.path_len} path positions, got {a.shape[-2]}"
             )
+        # (p, p) @ (..., p, d) broadcasts over leading batch axes, as does
+        # the (p, 1) bias; their gradients reduce back via _unbroadcast.
         out = self.weight @ a + self.bias
         if self.activation == "relu":
             out = out.relu()

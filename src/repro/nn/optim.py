@@ -152,7 +152,9 @@ class RowSGD(RowOptimizer):
         unique, inverse, counts = np.unique(
             rows, return_inverse=True, return_counts=True
         )
-        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
+        aggregated = np.zeros(
+            (unique.size, self.matrix.shape[1]), dtype=self.matrix.dtype
+        )
         np.add.at(aggregated, inverse, grads)
         aggregated /= counts[:, None]
         self.matrix[unique] -= step * aggregated
@@ -186,7 +188,9 @@ class RowAdam(RowOptimizer):
         step = self.lr if lr is None else lr
         rows = np.asarray(rows, dtype=np.int64)
         unique, inverse = np.unique(rows, return_inverse=True)
-        aggregated = np.zeros((unique.size, self.matrix.shape[1]))
+        aggregated = np.zeros(
+            (unique.size, self.matrix.shape[1]), dtype=self.matrix.dtype
+        )
         np.add.at(aggregated, inverse, grads)
         self._t += 1
         m = self._m[unique]

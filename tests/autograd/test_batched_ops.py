@@ -1,0 +1,135 @@
+"""Gradient checks for the batched (3-D) tensor ops.
+
+The cross-view trainer runs translators over ``(num_chunks, path_len, d)``
+tensors, which exercises batched matmul, the broadcast ``(p, p) @ (N, p,
+d)`` and ``+ (p, 1)`` bias forms (whose gradients must reduce over the
+leading batch axis), the last-two-axes transpose, and row-softmax on 3-D
+inputs.  Each is gradchecked against central differences here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.functional import l2_normalize_rows, log_softmax, softmax
+
+
+class TestBatchedMatmul:
+    def test_forward_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 3, 5))
+        b = rng.normal(size=(4, 5, 2))
+        out = Tensor(a) @ Tensor(b)
+        assert out.shape == (4, 3, 2)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_gradcheck_batched_both_sides(self, rng):
+        a = Tensor(rng.normal(size=(3, 2, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4, 2)), requires_grad=True)
+        gradcheck(lambda a, b: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_gradcheck_broadcast_left_operand(self, rng):
+        """(p, p) @ (N, p, d): the feed-forward weight against a batch."""
+        w = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        a = Tensor(rng.normal(size=(4, 3, 2)), requires_grad=True)
+        gradcheck(lambda w, a: ((w @ a) ** 2).sum(), [w, a])
+
+    def test_gradcheck_batched_transpose_product(self, rng):
+        """(N, p, d) @ (N, d, p): the attention score form of Eq. 8."""
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        gradcheck(lambda a: ((a @ a.transpose(-2, -1)) ** 2).sum(), [a])
+
+    def test_broadcast_gradient_sums_over_batch(self, rng):
+        """The 2-D operand's gradient is the sum of per-batch gradients."""
+        w_data = rng.normal(size=(3, 3))
+        a_data = rng.normal(size=(5, 3, 2))
+        w = Tensor(w_data, requires_grad=True)
+        ((w @ Tensor(a_data)) ** 2).sum().backward()
+        expected = np.zeros_like(w_data)
+        for k in range(a_data.shape[0]):
+            wk = Tensor(w_data, requires_grad=True)
+            ((wk @ Tensor(a_data[k])) ** 2).sum().backward()
+            expected += wk.grad
+        np.testing.assert_allclose(w.grad, expected, atol=1e-12)
+
+
+class TestBiasBroadcast:
+    def test_gradcheck_bias_over_batch(self, rng):
+        """(N, p, d) + (p, 1): the Eq. 9 bias against a batch."""
+        x = Tensor(rng.normal(size=(4, 3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        gradcheck(lambda x, b: ((x + b) ** 2).sum(), [x, b])
+
+    def test_bias_gradient_shape_and_value(self, rng):
+        x = Tensor(rng.normal(size=(4, 3, 2)))
+        b = Tensor(np.zeros((3, 1)), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3, 1)
+        # d/db sum(x + b) broadcast over N=4 batch and d=2 columns
+        np.testing.assert_allclose(b.grad, np.full((3, 1), 8.0))
+
+
+class TestTranspose:
+    def test_swaps_last_two_axes_by_default(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).transpose()
+        assert out.shape == (2, 4, 3)
+        np.testing.assert_array_equal(out.data, np.swapaxes(a, -1, -2))
+
+    def test_explicit_axes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).transpose(0, 2)
+        assert out.shape == (4, 3, 2)
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3, 4)))
+        gradcheck(lambda a: (a.transpose(-2, -1) * w.transpose(-2, -1)).sum(), [a])
+
+
+class TestBatchedSoftmax:
+    def test_rows_sum_to_one_on_3d(self, rng):
+        x = Tensor(rng.normal(size=(4, 3, 5)))
+        out = softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones((4, 3)))
+
+    def test_matches_per_slice_2d(self, rng):
+        x = rng.normal(size=(4, 3, 5))
+        batched = softmax(Tensor(x), axis=-1).data
+        for k in range(4):
+            np.testing.assert_allclose(
+                batched[k], softmax(Tensor(x[k]), axis=-1).data, atol=1e-12
+            )
+
+    def test_gradcheck_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3, 4)))
+        gradcheck(lambda x: (softmax(x, axis=-1) * w).sum(), [x])
+
+    def test_log_softmax_gradcheck_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3)))
+        gradcheck(lambda x: (log_softmax(x, axis=-1) * w).sum(), [x])
+
+
+class TestBatchedRowNormalize:
+    def test_unit_norms_on_3d(self, rng):
+        x = Tensor(rng.normal(size=(3, 4, 5)))
+        norms = np.linalg.norm(l2_normalize_rows(x).data, axis=-1)
+        np.testing.assert_allclose(norms, np.ones((3, 4)))
+
+    def test_gradcheck_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3, 4)))
+        gradcheck(lambda x: (l2_normalize_rows(x) * w).sum(), [x])
+
+
+class TestMeanOverChunks:
+    def test_batched_mean_is_mean_of_chunk_means(self, rng):
+        """The Eq. 11-14 loss reading: mean over (N, p) rows equals the
+        mean over chunks of per-chunk row means."""
+        x = rng.normal(size=(6, 4, 3))
+        batched = (Tensor(x) * Tensor(x)).sum(axis=-1).mean().item()
+        per_chunk = np.mean(
+            [(Tensor(x[k]) * Tensor(x[k])).sum(axis=-1).mean().item() for k in range(6)]
+        )
+        assert batched == pytest.approx(per_chunk, abs=1e-12)

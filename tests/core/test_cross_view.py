@@ -172,6 +172,52 @@ class TestCrossViewTrainer:
         assert losses.reconstruction == 0.0
         assert losses.translation != 0.0
 
+    def test_batched_is_default(self, toy_cross_trainer):
+        trainer, _, _ = toy_cross_trainer
+        assert trainer.batched is True
+
+    def test_scalar_reference_mode_trains(self, toy_pair, rng):
+        """batched=False keeps the per-chunk Algorithm 1 reading alive."""
+        graph, _ = toy_pair
+        views = separate_views(graph)
+        pair = build_view_pairs(views)[0]
+        emb_i = rng.normal(0, 0.1, size=(pair.view_i.num_nodes, 8))
+        emb_j = rng.normal(0, 0.1, size=(pair.view_j.num_nodes, 8))
+        trainer = CrossViewTrainer(
+            pair,
+            emb_i,
+            emb_j,
+            rng=rng,
+            dim=8,
+            cross_path_len=4,
+            num_encoders=1,
+            walk_length=10,
+            paths_per_epoch=10,
+            batched=False,
+        )
+        before_i = emb_i.copy()
+        losses = trainer.train_epoch()
+        assert losses.num_paths > 0
+        assert np.isfinite(losses.total)
+        assert not np.allclose(emb_i, before_i)
+
+    def test_scalar_mode_touches_only_common_rows(self, toy_pair, rng):
+        graph, _ = toy_pair
+        views = separate_views(graph)
+        pair = build_view_pairs(views)[0]
+        emb_i = rng.normal(0, 0.1, size=(pair.view_i.num_nodes, 8))
+        emb_j = rng.normal(0, 0.1, size=(pair.view_j.num_nodes, 8))
+        trainer = CrossViewTrainer(
+            pair, emb_i, emb_j, rng=rng, dim=8, cross_path_len=3,
+            paths_per_epoch=8, batched=False,
+        )
+        before_i = emb_i.copy()
+        trainer.train_epoch()
+        for node in pair.view_i.nodes:
+            row = pair.view_i.graph.index_of(node)
+            if node not in pair.common_nodes:
+                assert np.allclose(emb_i[row], before_i[row]), node
+
     def test_reconstruction_only_mode(self, toy_pair, rng):
         graph, _ = toy_pair
         views = separate_views(graph)

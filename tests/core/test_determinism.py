@@ -18,6 +18,13 @@ blocks (one draw per step across all walks) instead of per-walk scalars,
 so every RNG realization downstream of walk sampling shifted.  The
 distributional equivalence evidence lives in
 ``tests/walks/test_batched.py``.
+
+Re-pinned again when the batched cross-view trainer landed: the default
+path now applies one translator Adam step and one aggregated RowAdam
+update per direction per epoch (instead of one per chunk), so the
+optimization trajectory — not the RNG stream, which is untouched —
+shifted.  The batched-vs-per-chunk gradient equivalence evidence lives in
+``tests/core/test_batched_translator.py``.
 """
 
 import numpy as np
@@ -41,12 +48,12 @@ _CONFIG = dict(
 
 # first four coordinates of four nodes, rounded to 8 decimals
 _GOLDEN = {
-    "i0": [0.03717409, 0.12451685, -0.01458225, 0.03163758],
-    "i1": [0.06242447, 0.11896452, 0.01937395, 0.08124047],
-    "i2": [0.06819142, 0.12635629, -0.00095169, 0.02436223],
-    "i3": [0.00315366, 0.10738075, 0.02747417, 0.10709577],
+    "i0": [0.15807624, 0.17659602, -0.01945747, 0.08173329],
+    "i1": [0.12357295, 0.16661692, 0.109355, 0.13834433],
+    "i2": [0.17424686, 0.21436906, 0.00634649, -0.02574431],
+    "i3": [-0.02790398, 0.18280054, 0.14896285, 0.20434622],
 }
-_GOLDEN_TOTAL_SUM = 0.2587835379987151
+_GOLDEN_TOTAL_SUM = 0.05858886065169871
 
 
 def _run() -> dict:
