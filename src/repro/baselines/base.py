@@ -6,7 +6,13 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.engine import Callback, LoopResult, Phase, TrainingLoop
+from repro.engine import (
+    Callback,
+    LoopResult,
+    NumericalHealthGuard,
+    Phase,
+    TrainingLoop,
+)
 from repro.graph.heterograph import HeteroGraph, NodeId
 
 Embeddings = dict[NodeId, np.ndarray]
@@ -46,6 +52,21 @@ class EmbeddingMethod(ABC):
         loop = TrainingLoop(phases, callbacks=self.callbacks)
         self.last_run_ = loop.run(num_epochs)
         return self.last_run_
+
+    def attach_health_guard(self, policy: str = "raise") -> None:
+        """Watch this method's training for NaN/Inf and loss explosions.
+
+        Baselines have no snapshot protocol, so only the stateless
+        policies apply here: ``"raise"`` (fail fast with a diagnostic)
+        and ``"skip"`` (log and continue).  ``"rollback"`` needs
+        checkpointable model state and is only available on TransN.
+        """
+        if policy == "rollback":
+            raise ValueError(
+                f"policy 'rollback' needs checkpointable model state, "
+                f"which {self.name} does not expose; use 'raise' or 'skip'"
+            )
+        self.callbacks.append(NumericalHealthGuard(policy=policy))
 
     # ------------------------------------------------------------------
     # helpers shared by subclasses

@@ -4,7 +4,9 @@ Subcommands::
 
     repro generate <dataset> --graph g.tsv --labels l.tsv [--seed N]
     repro stats    <graph.tsv> [--labels l.tsv]
-    repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32] ...
+    repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32]
+                   [--checkpoint-dir ckpts/ --checkpoint-every 2 --resume]
+                   [--health-policy raise|rollback|skip] ...
     repro classify <graph.tsv> <labels.tsv> [--method transn] ...
     repro linkpred <graph.tsv> [--method transn] [--removal 0.4] ...
 
@@ -59,12 +61,33 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
 
     name = name.lower()
     dim, seed = args.dim, args.seed
+    # fault-tolerance options exist only on the train subcommand
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    checkpoint_every = getattr(args, "checkpoint_every", 1)
+    resume = getattr(args, "resume", False)
+    health_policy = getattr(args, "health_policy", None)
+    if resume and checkpoint_dir is None:
+        raise SystemExit("--resume needs --checkpoint-dir")
     if name == "transn":
-        config = TransNConfig(
-            dim=dim, seed=seed, num_iterations=args.iterations
+        try:
+            config = TransNConfig(
+                dim=dim,
+                seed=seed,
+                num_iterations=args.iterations,
+                checkpoint_every=checkpoint_every,
+                health_policy=health_policy,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        method = TransNMethod(
+            config, checkpoint_dir=checkpoint_dir, resume=resume
         )
-        method = TransNMethod(config)
     else:
+        if checkpoint_dir is not None:
+            raise SystemExit(
+                "--checkpoint-dir/--resume are only supported for "
+                "--method transn; baselines have no snapshot protocol"
+            )
         simple = {
             "line": lambda: LINE(dim=dim, seed=seed),
             "deepwalk": lambda: DeepWalk(dim=dim, seed=seed),
@@ -80,6 +103,11 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 + ", ".join(sorted(simple))
             )
         method = simple[name]()
+        if health_policy is not None:
+            try:
+                method.attach_health_guard(health_policy)
+            except ValueError as error:
+                raise SystemExit(str(error)) from None
     if getattr(args, "verbose", False):
         from repro.engine import ProgressReporter
 
@@ -241,6 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("graph")
     p_train.add_argument("--out", required=True)
     _add_method_options(p_train)
+    p_train.add_argument(
+        "--checkpoint-dir",
+        help="snapshot training state into this directory (transn only)",
+    )
+    p_train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="iterations between snapshots (default 1)",
+    )
+    p_train.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest valid checkpoint in --checkpoint-dir",
+    )
+    p_train.add_argument(
+        "--health-policy",
+        choices=["raise", "rollback", "skip"],
+        help="guard training against NaN/Inf and loss explosions: raise "
+        "(fail fast), rollback (restore last checkpoint and halve the "
+        "offending learning rate; transn only), or skip (log and continue)",
+    )
     p_train.set_defaults(func=_cmd_train)
 
     p_classify = sub.add_parser(

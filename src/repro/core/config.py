@@ -62,6 +62,13 @@ class TransNConfig:
             average (Section III-C); "degree" — an extension beyond the
             paper — weights each view by the node's degree in it, so a
             view where the node is peripheral contributes less.
+        checkpoint_every: snapshot period (in outer iterations) used by
+            :meth:`repro.core.TransN.fit` when a checkpoint directory is
+            given.  Training infrastructure, not part of Algorithm 1.
+        health_policy: when set, :meth:`repro.core.TransN.fit` attaches a
+            :class:`repro.engine.NumericalHealthGuard` with this policy
+            ("raise", "rollback", or "skip"); ``None`` disables the
+            guard.  Training infrastructure, not part of Algorithm 1.
         seed: RNG seed for all randomness in the model.
     """
 
@@ -88,22 +95,55 @@ class TransNConfig:
     batched_cross_view: bool = True
     view_weighting: str = "uniform"
 
+    checkpoint_every: int = 1
+    health_policy: str | None = None
+
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # every constraint names the offending field and its value so a
+        # bad sweep/CLI configuration fails at construction, not epochs in
+        def require(condition: bool, field_name: str, rule: str) -> None:
+            if not condition:
+                raise ValueError(
+                    f"TransNConfig.{field_name} {rule}, "
+                    f"got {getattr(self, field_name)!r}"
+                )
+
+        require(self.dim >= 1, "dim", "must be >= 1")
+        require(self.walk_length >= 2, "walk_length", "must be >= 2")
+        require(self.walk_floor >= 1, "walk_floor", "must be >= 1")
+        require(
+            self.walk_cap >= self.walk_floor,
+            "walk_cap",
+            f"must be >= walk_floor ({self.walk_floor})",
+        )
+        require(self.num_iterations >= 1, "num_iterations", "must be >= 1")
+        require(self.lr_single > 0, "lr_single", "must be > 0")
+        require(self.lr_cross > 0, "lr_cross", "must be > 0")
+        require(
+            self.lr_cross_embeddings > 0, "lr_cross_embeddings", "must be > 0"
+        )
+        require(self.num_negatives >= 1, "num_negatives", "must be >= 1")
+        require(self.num_encoders >= 1, "num_encoders", "must be >= 1")
+        require(self.cross_path_len >= 2, "cross_path_len", "must be >= 2")
+        require(
+            self.cross_paths_per_pair >= 1,
+            "cross_paths_per_pair",
+            "must be >= 1",
+        )
+        require(self.batch_size >= 1, "batch_size", "must be >= 1")
+        require(self.checkpoint_every >= 1, "checkpoint_every", "must be >= 1")
         if self.view_weighting not in ("uniform", "degree"):
             raise ValueError(
                 f"unknown view_weighting {self.view_weighting!r}; "
                 "expected 'uniform' or 'degree'"
             )
-        if self.dim < 1:
-            raise ValueError("dim must be >= 1")
-        if self.walk_length < 2:
-            raise ValueError("walk_length must be >= 2")
-        if self.cross_path_len < 2:
-            raise ValueError("cross_path_len must be >= 2")
-        if self.num_encoders < 1:
-            raise ValueError("num_encoders must be >= 1")
+        if self.health_policy not in (None, "raise", "rollback", "skip"):
+            raise ValueError(
+                f"unknown health_policy {self.health_policy!r}; "
+                "expected None, 'raise', 'rollback', or 'skip'"
+            )
         if not (self.use_translation_tasks or self.use_reconstruction_tasks):
             if self.use_cross_view:
                 raise ValueError(

@@ -174,6 +174,43 @@ class CrossViewTrainer:
         return indices[indices >= 0]
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Theta_cross minus the shared embedding matrices: both
+        translators' parameters, the translator Adam moments, and the
+        RowAdam moments of the common-node embedding updates.  The view
+        embedding matrices themselves are owned and saved by the model."""
+        return {
+            "translator_ij": self.translator_ij.state_dict(),
+            "translator_ji": self.translator_ji.state_dict(),
+            "translator_optim": self._translator_optim.state_dict(),
+            "row_adam_i": self._row_adam_i.state_dict(),
+            "row_adam_j": self._row_adam_j.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.translator_ij.load_state_dict(state["translator_ij"])
+        self.translator_ji.load_state_dict(state["translator_ji"])
+        self._translator_optim.load_state_dict(state["translator_optim"])
+        self._row_adam_i.load_state_dict(state["row_adam_i"])
+        self._row_adam_j.load_state_dict(state["row_adam_j"])
+
+    def scale_learning_rates(self, factor: float) -> None:
+        """Scale the translator and embedding learning rates together.
+
+        Used by the numerical-health rollback policy: the cross-view
+        phase has two coupled rates (translator Adam, common-node
+        RowAdam), so "halve the phase's lr" scales both by the same
+        factor to preserve their tuned ratio.
+        """
+        if factor <= 0:
+            raise ValueError(f"lr scale factor must be positive, got {factor}")
+        self._translator_optim.lr *= factor
+        self._row_adam_i.lr *= factor
+        self._row_adam_j.lr *= factor
+
+    # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
     def _sample_chunks(

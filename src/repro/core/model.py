@@ -13,11 +13,21 @@ Usage:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.engine import Callback, CallablePhase, LoopResult, TrainingLoop
+from repro.engine import (
+    Callback,
+    Checkpointer,
+    CheckpointManager,
+    LoopResult,
+    NumericalHealthGuard,
+    Phase,
+    TrainingLoop,
+)
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import build_view_pairs, separate_views
 
@@ -27,6 +37,67 @@ from repro.core.single_view import SingleViewTrainer
 
 SINGLE_VIEW_PHASE = "single_view"
 CROSS_VIEW_PHASE = "cross_view"
+
+# config fields that may differ between a checkpoint and the model
+# resuming from it: they steer the training *run* (how long, how it is
+# snapshotted/guarded) rather than the trajectory-defining hyper-parameters
+_RESUME_EXEMPT_CONFIG_FIELDS = frozenset(
+    {"num_iterations", "checkpoint_every", "health_policy"}
+)
+
+
+class _SingleViewPhase(Phase):
+    """Algorithm 1 lines 3-8 as an engine phase.
+
+    The learning rate lives on the phase (like
+    :class:`~repro.engine.loop.SkipGramPhase`) so scheduling callbacks and
+    the health guard's rollback halving can adjust it between epochs.
+    """
+
+    def __init__(self, model: "TransN") -> None:
+        super().__init__(SINGLE_VIEW_PHASE)
+        self._model = model
+        self.lr = model.config.lr_single
+
+    def run(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+        return self._model._single_view_step(self.lr)
+
+
+class _CrossViewPhase(Phase):
+    """Algorithm 1 lines 9-12 as an engine phase.
+
+    The cross-view step involves three coupled learning rates per trainer
+    (translator Adam plus the two common-node RowAdam rates), tuned as a
+    ratio.  The phase exposes a single scalar ``lr`` — the translator rate
+    — and setting it rescales *all* rates of every cross trainer by the
+    same factor, preserving the tuned ratio.
+    """
+
+    def __init__(self, model: "TransN") -> None:
+        super().__init__(CROSS_VIEW_PHASE)
+        self._model = model
+        self._lr = model.config.lr_cross
+
+    @property
+    def lr(self) -> float:
+        return self._lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"lr must be > 0, got {value}")
+        factor = value / self._lr
+        for trainer in self._model.cross_trainers:
+            trainer.scale_learning_rates(factor)
+        self._lr = value
+
+    def _set_lr_silently(self, value: float) -> None:
+        """Record ``value`` without touching the trainers — used when a
+        checkpoint restore has already set the optimizer rates directly."""
+        self._lr = value
+
+    def run(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+        return self._model._cross_view_step()
 
 
 @dataclass
@@ -122,6 +193,14 @@ class TransN:
             for pair in self.view_pairs
         ]
 
+        # phases are created once (not per fit call) so learning-rate
+        # adjustments made by callbacks — LR schedules, the health guard's
+        # rollback halving — survive repeated fit() calls and are part of
+        # the checkpointed state
+        self._phases: list[Phase] = [_SingleViewPhase(self)]
+        if self.cross_trainers:
+            self._phases.append(_CrossViewPhase(self))
+
         self.history = TrainingHistory()
         self.last_run: LoopResult | None = None
         self.timings: dict[str, float] = {}
@@ -130,17 +209,17 @@ class TransN:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def _single_view_step(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+    def _single_view_step(self, lr: float) -> dict[str, float]:
         """Lines 3-8 of Algorithm 1: one skip-gram pass per view."""
         losses = [
-            trainer.train_epoch(lr=self.config.lr_single)
+            trainer.train_epoch(lr=lr)
             for trainer in self.single_trainers
         ]
         value = float(np.mean(losses))
         self.history.single_view.append(value)
         return {"loss": value}
 
-    def _cross_view_step(self, loop: TrainingLoop, epoch: int) -> dict[str, float]:
+    def _cross_view_step(self) -> dict[str, float]:
         """Lines 9-12 of Algorithm 1: dual learning over every view-pair."""
         epoch_losses = [trainer.train_epoch() for trainer in self.cross_trainers]
         trained = [e for e in epoch_losses if e.num_paths > 0]
@@ -152,10 +231,127 @@ class TransN:
         self.history.reconstruction.append(reconstruction)
         return {"translation": translation, "reconstruction": reconstruction}
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of everything :meth:`fit` mutates — restoring it and
+        re-running from the same epoch reproduces an uninterrupted run
+        bit for bit.
+
+        Covers the shared RNG stream, the view-specific embedding
+        matrices (saved once here; the single- and cross-view trainers
+        share them by reference and exclude them from their own states),
+        every trainer's optimizer moments and auxiliary matrices, the
+        phase learning rates, and the loss history.
+        """
+        return {
+            "config": asdict(self.config),
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "view_embeddings": {
+                edge_type: matrix.copy()
+                for edge_type, matrix in self.view_embeddings.items()
+            },
+            "single_view": {
+                trainer.view.edge_type: trainer.state_dict()
+                for trainer in self.single_trainers
+            },
+            "cross_view": {
+                "|".join(trainer.pair.key): trainer.state_dict()
+                for trainer in self.cross_trainers
+            },
+            "phase_lrs": {
+                phase.name: float(phase.lr) for phase in self._phases
+            },
+            "history": {
+                "single_view": list(self.history.single_view),
+                "translation": list(self.history.translation),
+                "reconstruction": list(self.history.reconstruction),
+            },
+            "fitted": self._fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The snapshot's config must match this model's on every
+        trajectory-defining field (dimensions, rates, walk policy, seed,
+        ablation switches); run-control fields (``num_iterations``,
+        ``checkpoint_every``, ``health_policy``) may differ — resuming
+        with more iterations or a different guard policy is the point of
+        checkpointing.
+        """
+        ours, theirs = asdict(self.config), state["config"]
+        mismatched = sorted(
+            name
+            for name in ours
+            if name not in _RESUME_EXEMPT_CONFIG_FIELDS
+            and theirs.get(name, ours[name]) != ours[name]
+        )
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: checkpoint={theirs[name]!r} model={ours[name]!r}"
+                for name in mismatched
+            )
+            raise ValueError(
+                f"checkpoint config does not match the model ({detail}); "
+                "resume with the configuration the run was started with"
+            )
+
+        saved_views = state["view_embeddings"]
+        if set(saved_views) != set(self.view_embeddings):
+            raise ValueError(
+                f"checkpoint views {sorted(saved_views)} != model views "
+                f"{sorted(self.view_embeddings)}"
+            )
+        for edge_type, matrix in self.view_embeddings.items():
+            saved = saved_views[edge_type]
+            if saved.shape != matrix.shape:
+                raise ValueError(
+                    f"view {edge_type!r}: checkpoint shape {saved.shape} "
+                    f"!= model shape {matrix.shape}"
+                )
+            # in place: the trainers hold references to these matrices
+            matrix[:] = saved
+
+        for trainer in self.single_trainers:
+            trainer.load_state_dict(state["single_view"][trainer.view.edge_type])
+        for trainer in self.cross_trainers:
+            trainer.load_state_dict(state["cross_view"]["|".join(trainer.pair.key)])
+
+        # all components share this generator by reference, so restoring
+        # its state in place resumes every consumer's stream at once
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+
+        for phase in self._phases:
+            saved_lr = state["phase_lrs"][phase.name]
+            if isinstance(phase, _CrossViewPhase):
+                # the trainer optimizer rates were just restored directly;
+                # only the phase's record needs updating
+                phase._set_lr_silently(saved_lr)
+            else:
+                phase.lr = saved_lr
+
+        history = state["history"]
+        self.history.single_view[:] = history["single_view"]
+        self.history.translation[:] = history["translation"]
+        self.history.reconstruction[:] = history["reconstruction"]
+        self._fitted = bool(state["fitted"])
+
+    @staticmethod
+    def _as_manager(
+        checkpoint: "CheckpointManager | str | Path | None",
+    ) -> CheckpointManager | None:
+        if checkpoint is None or isinstance(checkpoint, CheckpointManager):
+            return checkpoint
+        return CheckpointManager(Path(checkpoint))
+
     def fit(
         self,
         num_iterations: int | None = None,
         callbacks: list[Callback] | tuple[Callback, ...] = (),
+        checkpoint: "CheckpointManager | str | Path | None" = None,
+        resume: bool = False,
     ) -> TrainingHistory:
         """Run Algorithm 1 for K iterations; returns the loss history.
 
@@ -167,17 +363,77 @@ class TransN:
         :class:`repro.engine.EarlyStopping`); cumulative timings land in
         :attr:`timings` and the full result in :attr:`last_run`.
 
+        Fault tolerance (infrastructure around Algorithm 1, see
+        docs/fault_tolerance.md):
+
+        - ``checkpoint``: a directory (or ready
+          :class:`repro.engine.CheckpointManager`) to snapshot into every
+          ``config.checkpoint_every`` iterations and at the end of the
+          run, atomically and with integrity checks.
+        - ``resume=True``: load the newest valid checkpoint from
+          ``checkpoint`` and continue from the iteration after it —
+          bit-identical to a run that was never interrupted.  A missing
+          or empty checkpoint directory falls back to a fresh start.
+        - ``config.health_policy``: when set, a
+          :class:`repro.engine.NumericalHealthGuard` with that policy
+          watches every iteration's losses and parameters.
+
         Calling :meth:`fit` again continues training from the current
         state (useful for convergence studies).
         """
-        iterations = num_iterations if num_iterations is not None else self.config.num_iterations
-        phases = [CallablePhase(SINGLE_VIEW_PHASE, self._single_view_step)]
-        if self.cross_trainers:
-            phases.append(CallablePhase(CROSS_VIEW_PHASE, self._cross_view_step))
-        loop = TrainingLoop(phases, callbacks=callbacks)
-        self.last_run = loop.run(iterations)
+        iterations = (
+            num_iterations
+            if num_iterations is not None
+            else self.config.num_iterations
+        )
+        manager = self._as_manager(checkpoint)
+        if resume and manager is None:
+            raise ValueError(
+                "resume=True needs a checkpoint directory or manager"
+            )
+
+        engine_callbacks: list[Callback] = []
+        if self.config.health_policy is not None:
+            engine_callbacks.append(
+                NumericalHealthGuard(
+                    policy=self.config.health_policy, state_provider=self
+                )
+            )
+
+        start_epoch = 0
+        loop_state: dict | None = None
+        if resume:
+            loaded = manager.load_latest()
+            if loaded is not None:
+                self.load_state_dict(loaded.state["model"])
+                loop_state = loaded.state["loop"]
+                start_epoch = int(loop_state["epochs_completed"])
+                if start_epoch > iterations:
+                    raise ValueError(
+                        f"checkpoint already covers {start_epoch} iterations "
+                        f"but only {iterations} were requested; raise "
+                        "num_iterations to continue the run"
+                    )
+
+        if manager is not None:
+            # the guard sits before the checkpointer so a poisoned epoch is
+            # rolled back before it can be persisted
+            engine_callbacks.append(
+                Checkpointer(manager, self, every=self.config.checkpoint_every)
+            )
+
+        loop = TrainingLoop(
+            self._phases, callbacks=(*engine_callbacks, *callbacks)
+        )
+        if loop_state is not None:
+            loop.load_state_dict(loop_state)
+        self.last_run = loop.run(iterations, start_epoch=start_epoch)
+        # the restored loop state carries the pre-interruption totals; count
+        # only the seconds this call actually spent
+        restored = dict(loop_state["timings"]) if loop_state else {}
         for name, seconds in self.last_run.timings.items():
-            self.timings[name] = self.timings.get(name, 0.0) + seconds
+            new_seconds = seconds - restored.get(name, 0.0)
+            self.timings[name] = self.timings.get(name, 0.0) + new_seconds
         self._fitted = True
         return self.history
 

@@ -108,6 +108,26 @@ class SingleViewTrainer:
             batches += 1
         return total / batches if batches else 0.0
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything this trainer mutates during training: the SGNS
+        context matrix + optimizer moments, and the pipeline's cached
+        noise table.  The view-specific embedding matrix is excluded —
+        the model owns it (it is shared with the cross-view trainer) and
+        snapshots it once.  The cached monitoring corpus is transient and
+        deliberately not saved."""
+        return {
+            "skipgram": self.trainer.state_dict(),
+            "pipeline": self.pipeline.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.trainer.load_state_dict(state["skipgram"])
+        self.pipeline.load_state_dict(state["pipeline"])
+        self._last_corpus = None
+
     def _monitoring_corpus(self, num_pairs: int) -> WalkCorpus:
         """A corpus to draw monitoring pairs from — the last training
         epoch's corpus when one exists, otherwise a bounded fresh draw.

@@ -11,7 +11,14 @@ the same three pieces:
   per-epoch units of work;
 - a :class:`TrainingLoop` running the phases under a callback system
   (:class:`LossHistory`, :class:`PhaseTimer`, :class:`EarlyStopping`,
-  :class:`LinearLRDecay`, :class:`ProgressReporter`).
+  :class:`LinearLRDecay`, :class:`ProgressReporter`);
+- a **fault-tolerance layer** (see ``docs/fault_tolerance.md``): the
+  :class:`CheckpointManager` writes atomic, checksummed, rotated
+  snapshots of any :class:`TrainingState`; the :class:`Checkpointer`
+  callback persists them on an epoch cadence; ``TrainingLoop.resume``
+  continues an interrupted run bit-exactly; and the
+  :class:`NumericalHealthGuard` catches NaN/Inf losses and loss
+  explosions with a raise/rollback/skip policy.
 
 This is the seam where instrumentation, scheduling, and future
 parallelism/observability work plug in once and apply to every method.
@@ -19,11 +26,23 @@ parallelism/observability work plug in once and apply to every method.
 
 from repro.engine.callbacks import (
     Callback,
+    Checkpointer,
     EarlyStopping,
     LinearLRDecay,
     LossHistory,
+    NumericalHealthError,
+    NumericalHealthGuard,
     PhaseTimer,
     ProgressReporter,
+)
+from repro.engine.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    TrainingState,
+    dump_state,
+    load_state,
+    non_finite_entries,
 )
 from repro.engine.loop import (
     CallablePhase,
@@ -43,16 +62,26 @@ __all__ = [
     "BatchSource",
     "Callback",
     "CallablePhase",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "Checkpointer",
     "CorpusPipeline",
     "EarlyStopping",
     "EdgeSamplingPipeline",
     "LinearLRDecay",
     "LoopResult",
     "LossHistory",
+    "NumericalHealthError",
+    "NumericalHealthGuard",
     "Phase",
     "PhaseTimer",
     "ProgressReporter",
     "SkipGramBatch",
     "SkipGramPhase",
     "TrainingLoop",
+    "TrainingState",
+    "dump_state",
+    "load_state",
+    "non_finite_entries",
 ]

@@ -16,10 +16,14 @@ stop flag between epochs.
 
 from __future__ import annotations
 
+import math
+import statistics
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.checkpoint import CheckpointManager, TrainingState
     from repro.engine.loop import Phase, TrainingLoop
 
 EpochLogs = dict[str, dict[str, float]]  # phase name -> named losses
@@ -57,6 +61,10 @@ class Callback:
         self, loop: "TrainingLoop", epoch: int, logs: EpochLogs
     ) -> None: ...
 
+    def on_epoch_rollback(self, loop: "TrainingLoop", epoch: int) -> None:
+        """The epoch was discarded (``loop.request_retry()``): callbacks
+        that recorded anything during it should drop those records."""
+
     def on_train_end(self, loop: "TrainingLoop") -> None: ...
 
 
@@ -73,6 +81,11 @@ class LossHistory(Callback):
 
     def on_phase_end(self, loop, epoch, phase, losses) -> None:
         self.history.setdefault(phase.name, []).append(dict(losses))
+
+    def on_epoch_rollback(self, loop, epoch) -> None:
+        for entries in self.history.values():
+            if entries:
+                entries.pop()
 
     def series(self, phase_name: str, loss_name: str = "loss") -> list[float]:
         """One loss as a flat series, skipping epochs that lack it."""
@@ -103,6 +116,13 @@ class PhaseTimer(Callback):
         elapsed = self._clock() - self._started.pop(phase.name)
         self.totals[phase.name] = self.totals.get(phase.name, 0.0) + elapsed
         self.epochs.setdefault(phase.name, []).append(elapsed)
+
+    def on_epoch_rollback(self, loop, epoch) -> None:
+        # keep totals honest: the retried epoch's time was still spent,
+        # but the per-epoch series must stay one entry per kept epoch
+        for name, values in self.epochs.items():
+            if values:
+                values.pop()
 
 
 class EarlyStopping(Callback):
@@ -219,6 +239,9 @@ class ProgressReporter(Callback):
     def on_phase_end(self, loop, epoch, phase, losses) -> None:
         self._timer.on_phase_end(loop, epoch, phase, losses)
 
+    def on_epoch_rollback(self, loop, epoch) -> None:
+        self._timer.on_epoch_rollback(loop, epoch)
+
     def on_epoch_end(self, loop, epoch, logs) -> None:
         parts = []
         elapsed = 0.0
@@ -235,4 +258,250 @@ class ProgressReporter(Callback):
             f"[epoch {epoch + 1}/{self._num_epochs}] "
             + " | ".join(parts)
             + f" | {elapsed:.2f}s"
+        )
+
+
+class Checkpointer(Callback):
+    """Snapshots training state to a :class:`CheckpointManager`.
+
+    Saves every ``every`` epochs and — so early-stopped or completed runs
+    always leave a current checkpoint — once more at train end if the
+    last epoch was not already on the cadence.  Each checkpoint bundles
+    the ``state_provider``'s :meth:`state_dict` with the loop's own state
+    (epoch counter, loss history, timings), which is exactly what
+    :meth:`TrainingLoop.resume` needs.
+
+    When a :class:`NumericalHealthGuard` runs in the same callback list,
+    attach it *before* this checkpointer: a guard that requested a
+    rollback marks the epoch discarded (``loop.retry_requested``), and
+    the checkpointer refuses to persist the poisoned state.
+    """
+
+    STATE_FORMAT = 1
+
+    def __init__(
+        self,
+        manager: "CheckpointManager",
+        state_provider: "TrainingState",
+        every: int = 1,
+        save_on_train_end: bool = True,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.manager = manager
+        self.state_provider = state_provider
+        self.every = every
+        self.save_on_train_end = save_on_train_end
+        self._last_saved_step: int | None = None
+
+    def _save(self, loop: "TrainingLoop", step: int) -> None:
+        loop_state = loop.state_dict()
+        # on_epoch_end fires before the loop advances its counter, so
+        # stamp the step this checkpoint actually represents
+        loop_state["epochs_completed"] = step
+        self.manager.save(
+            {
+                "format": self.STATE_FORMAT,
+                "step": step,
+                "model": self.state_provider.state_dict(),
+                "loop": loop_state,
+            },
+            step=step,
+        )
+        self._last_saved_step = step
+
+    def on_train_begin(self, loop) -> None:
+        self._last_saved_step = None
+
+    def on_epoch_end(self, loop, epoch, logs) -> None:
+        if loop.retry_requested:
+            return  # a health guard discarded this epoch; don't persist it
+        if (epoch + 1) % self.every == 0:
+            self._save(loop, epoch + 1)
+
+    def on_train_end(self, loop) -> None:
+        step = loop.epochs_completed
+        if (
+            self.save_on_train_end
+            and step > 0
+            and self._last_saved_step != step
+        ):
+            self._save(loop, step)
+
+
+class NumericalHealthError(RuntimeError):
+    """Training produced NaN/Inf values or an exploding loss."""
+
+
+class NumericalHealthGuard(Callback):
+    """Watches per-phase losses (and optionally parameters) for NaN/Inf
+    and loss explosions, applying a configurable policy.
+
+    A loss is *unhealthy* when it is non-finite, or when it exceeds
+    ``explosion_factor`` times the rolling median of its last ``window``
+    healthy values (checked only once at least three healthy values
+    exist, so warm-up noise cannot trip it).  With ``check_parameters``
+    the guard additionally scans the ``state_provider``'s state dict for
+    non-finite float arrays after every clean-looking epoch, catching
+    parameters that went NaN without the loss showing it yet.
+
+    Policies:
+
+    - ``"raise"`` (default): raise :class:`NumericalHealthError`.
+    - ``"rollback"``: restore the snapshot taken at the epoch's start
+      (the state of the last completed epoch — i.e. the last checkpoint
+      boundary), halve the ``lr`` of each offending phase, and re-run
+      the epoch via ``loop.request_retry()``.  Consecutive failing
+      retries halve again (the guard re-reads the phase's lr at every
+      epoch start); after ``max_retries`` consecutive failures it
+      raises.  Requires a ``state_provider``.
+    - ``"skip"``: record the incident and carry on unchanged.
+
+    Every incident is appended to :attr:`incidents` as
+    ``(epoch, action, problems)`` for post-mortems and tests.
+    """
+
+    POLICIES = ("raise", "rollback", "skip")
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        state_provider: "TrainingState | None" = None,
+        explosion_factor: float = 10.0,
+        window: int = 8,
+        max_retries: int = 3,
+        check_parameters: bool = True,
+        print_fn: Callable[[str], None] = print,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown health policy {policy!r}; choose from "
+                + ", ".join(self.POLICIES)
+            )
+        if policy == "rollback" and state_provider is None:
+            raise ValueError(
+                "the 'rollback' policy needs a state_provider with "
+                "state_dict()/load_state_dict() to restore from"
+            )
+        if explosion_factor <= 1.0:
+            raise ValueError(
+                f"explosion_factor must be > 1, got {explosion_factor}"
+            )
+        if window < 3:
+            raise ValueError(f"window must be >= 3, got {window}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.policy = policy
+        self.state_provider = state_provider
+        self.explosion_factor = explosion_factor
+        self.window = window
+        self.max_retries = max_retries
+        self.check_parameters = check_parameters
+        self.print_fn = print_fn
+        self.incidents: list[tuple[int, str, list[str]]] = []
+        self._recent: dict[tuple[str, str], deque[float]] = {}
+        self._snapshot: dict | None = None
+        self._phase_lrs: dict[str, float] = {}
+        self._consecutive_retries = 0
+
+    # ------------------------------------------------------------------
+    def on_train_begin(self, loop) -> None:
+        self._recent = {}
+        self._snapshot = None
+        self._phase_lrs = {}
+        self._consecutive_retries = 0
+
+    def on_epoch_begin(self, loop, epoch) -> None:
+        self._phase_lrs = {
+            phase.name: float(phase.lr)
+            for phase in loop.phases
+            if hasattr(phase, "lr")
+        }
+        if self.policy == "rollback":
+            self._snapshot = self.state_provider.state_dict()
+
+    # ------------------------------------------------------------------
+    def _scan(self, logs: EpochLogs) -> list[tuple[str | None, str]]:
+        """(offending phase, description) for every problem this epoch."""
+        problems: list[tuple[str | None, str]] = []
+        for phase_name, losses in logs.items():
+            for loss_name, value in losses.items():
+                label = f"{phase_name}/{loss_name}"
+                if not math.isfinite(value):
+                    problems.append(
+                        (phase_name, f"loss {label} is non-finite ({value})")
+                    )
+                    continue
+                recent = self._recent.get((phase_name, loss_name))
+                if recent is not None and len(recent) >= 3:
+                    median = statistics.median(recent)
+                    if median > 0 and value > self.explosion_factor * median:
+                        problems.append(
+                            (
+                                phase_name,
+                                f"loss {label} exploded: {value:.6g} > "
+                                f"{self.explosion_factor:g} x rolling "
+                                f"median {median:.6g}",
+                            )
+                        )
+        if (
+            not problems
+            and self.check_parameters
+            and self.state_provider is not None
+        ):
+            from repro.engine.checkpoint import non_finite_entries
+
+            for path in non_finite_entries(self.state_provider.state_dict()):
+                problems.append(
+                    (None, f"parameter state {path!r} contains NaN/Inf")
+                )
+        return problems
+
+    def _record_healthy(self, logs: EpochLogs) -> None:
+        for phase_name, losses in logs.items():
+            for loss_name, value in losses.items():
+                key = (phase_name, loss_name)
+                if key not in self._recent:
+                    self._recent[key] = deque(maxlen=self.window)
+                self._recent[key].append(value)
+
+    def on_epoch_end(self, loop, epoch, logs) -> None:
+        problems = self._scan(logs)
+        if not problems:
+            self._record_healthy(logs)
+            self._consecutive_retries = 0
+            return
+        descriptions = [text for _, text in problems]
+        summary = (
+            f"numerical health check failed at epoch {epoch + 1}: "
+            + "; ".join(descriptions)
+        )
+        if self.policy == "raise":
+            self.incidents.append((epoch, "raise", descriptions))
+            raise NumericalHealthError(summary)
+        if self.policy == "skip":
+            self.incidents.append((epoch, "skip", descriptions))
+            self.print_fn(f"[health] {summary} — skipping (policy=skip)")
+            return
+        # rollback
+        if self._consecutive_retries >= self.max_retries:
+            self.incidents.append((epoch, "raise", descriptions))
+            raise NumericalHealthError(
+                f"{summary} — retry budget ({self.max_retries}) exhausted"
+            )
+        self._consecutive_retries += 1
+        self.incidents.append((epoch, "rollback", descriptions))
+        self.state_provider.load_state_dict(self._snapshot)
+        halved = []
+        for name in {p for p, _ in problems if p is not None}:
+            phase = next((p for p in loop.phases if p.name == name), None)
+            if phase is not None and name in self._phase_lrs:
+                phase.lr = self._phase_lrs[name] * 0.5
+                halved.append(f"{name} lr -> {phase.lr:g}")
+        loop.request_retry()
+        detail = f" ({', '.join(halved)})" if halved else ""
+        self.print_fn(
+            f"[health] {summary} — rolled back to last snapshot, retrying "
+            f"epoch {epoch + 1} "
+            f"[{self._consecutive_retries}/{self.max_retries}]{detail}"
         )

@@ -1,0 +1,262 @@
+"""Crash-safe training checkpoints.
+
+A *checkpoint* is one nested state dict — numpy arrays, numbers, strings,
+lists, and dicts, as produced by a trainer's ``state_dict()`` — frozen to
+disk so an interrupted run can continue bit-exactly.  Three guarantees:
+
+- **Atomicity**: :meth:`CheckpointManager.save` writes to a temporary
+  file in the target directory, flushes and fsyncs it, then publishes it
+  with :func:`os.replace`.  A crash at any point leaves either the
+  previous checkpoint or the new one, never a truncated hybrid.
+- **Integrity**: every file carries a magic string, a format version,
+  the payload length, and a SHA-256 checksum of the payload.  Loading a
+  truncated, corrupted, or future-format file raises
+  :class:`CheckpointError` naming the file and the reason — it never
+  unpickles garbage.
+- **Rotation**: the manager keeps the ``keep`` most recent checkpoints
+  and deletes older ones; :meth:`CheckpointManager.load_latest` falls
+  back through the rotation when the newest file is damaged.
+
+The :class:`TrainingState` protocol is the contract trainers implement to
+participate: ``state_dict()`` returns a snapshot (owning copies of every
+array) and ``load_state_dict()`` restores it *in place*, so matrices
+shared between components (e.g. TransN's view embeddings, updated by both
+the single-view and the cross-view trainer) keep their identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+MAGIC = b"REPROCKP"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<8sIQ32s")  # magic, version, payload length, sha256
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file could not be read or fails validation."""
+
+
+@runtime_checkable
+class TrainingState(Protocol):
+    """Anything whose full training state can be snapshot and restored."""
+
+    def state_dict(self) -> dict[str, Any]: ...
+
+    def load_state_dict(self, state: dict[str, Any]) -> None: ...
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One checkpoint loaded from disk."""
+
+    path: Path
+    step: int
+    state: dict[str, Any]
+
+
+def dump_state(state: dict[str, Any], path: str | Path) -> None:
+    """Write ``state`` to ``path`` atomically with header + checksum."""
+    path = Path(path)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, len(payload), hashlib.sha256(payload).digest()
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+
+
+def load_state(path: str | Path) -> dict[str, Any]:
+    """Read and validate a checkpoint written by :func:`dump_state`.
+
+    Raises:
+        CheckpointError: naming ``path`` and the failure — missing file,
+            truncation, bad magic, future format version, length or
+            checksum mismatch — *before* any payload is deserialized.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
+    except OSError as exc:
+        raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(
+            f"{path}: truncated checkpoint ({len(raw)} bytes, header needs "
+            f"{_HEADER.size})"
+        )
+    magic, version, length, digest = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise CheckpointError(
+            f"{path}: not a checkpoint file (bad magic {magic!r})"
+        )
+    if version > FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: future format version {version} (this build reads "
+            f"<= {FORMAT_VERSION}); upgrade the code or use an older "
+            f"checkpoint"
+        )
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path}: truncated checkpoint (payload is {len(payload)} "
+            f"bytes, header promises {length})"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(
+            f"{path}: checksum mismatch — the file is corrupt"
+        )
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # unpickling a validated payload failed
+        raise CheckpointError(
+            f"{path}: cannot deserialize checkpoint payload: {exc}"
+        ) from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"{path}: checkpoint payload is {type(state).__name__}, "
+            "expected a state dict"
+        )
+    return state
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (POSIX durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+class CheckpointManager:
+    """Owns one directory of rotated, validated checkpoints.
+
+    Args:
+        directory: where checkpoints live; created if missing.
+        keep: how many recent checkpoints to retain (older ones are
+            deleted after each successful save).
+        prefix: file-name prefix, ``<prefix>-<step>.ckpt``.
+    """
+
+    SUFFIX = ".ckpt"
+
+    def __init__(
+        self, directory: str | Path, keep: int = 3, prefix: str = "ckpt"
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", prefix):
+            raise ValueError(f"invalid checkpoint prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        self._pattern = re.compile(
+            re.escape(prefix) + r"-(\d+)" + re.escape(self.SUFFIX) + r"\Z"
+        )
+
+    # ------------------------------------------------------------------
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:08d}{self.SUFFIX}"
+
+    def steps(self) -> list[int]:
+        """Steps of every checkpoint on disk, oldest first."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = self._pattern.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._path_for(step) for step in self.steps())
+
+    # ------------------------------------------------------------------
+    def save(self, state: dict[str, Any], step: int) -> Path:
+        """Atomically write ``state`` as checkpoint ``step`` and rotate."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        path = self._path_for(step)
+        dump_state(state, path)
+        for old in self.steps()[: -self.keep]:
+            self._path_for(old).unlink(missing_ok=True)
+        return path
+
+    def load(self, step: int) -> Checkpoint:
+        """Load one specific checkpoint, strictly (no fallback)."""
+        path = self._path_for(step)
+        return Checkpoint(path=path, step=step, state=load_state(path))
+
+    def load_latest(self) -> Checkpoint | None:
+        """The newest readable checkpoint, or ``None`` if none exist.
+
+        Damaged files are skipped (newest to oldest) with a warning; if
+        every file in the rotation is damaged, raises
+        :class:`CheckpointError` listing each failure.
+        """
+        steps = self.steps()
+        failures: list[str] = []
+        for step in reversed(steps):
+            try:
+                return self.load(step)
+            except CheckpointError as exc:
+                failures.append(str(exc))
+                warnings.warn(
+                    f"skipping damaged checkpoint: {exc}", stacklevel=2
+                )
+        if failures:
+            raise CheckpointError(
+                "no readable checkpoint in "
+                f"{self.directory}: " + "; ".join(failures)
+            )
+        return None
+
+
+def non_finite_entries(state: Any, prefix: str = "") -> list[str]:
+    """Paths of float arrays inside ``state`` containing NaN/Inf.
+
+    Walks nested dicts/lists/tuples; only inspects floating-point numpy
+    arrays (loss *histories* are plain lists and are deliberately not
+    scanned — a guarded NaN loss lives there legitimately after a
+    ``skip``-policy incident).
+    """
+    bad: list[str] = []
+    if isinstance(state, dict):
+        for key, value in state.items():
+            bad.extend(non_finite_entries(value, f"{prefix}{key}/"))
+    elif isinstance(state, (list, tuple)):
+        for index, value in enumerate(state):
+            bad.extend(non_finite_entries(value, f"{prefix}{index}/"))
+    elif isinstance(state, np.ndarray):
+        if np.issubdtype(state.dtype, np.floating) and not np.all(
+            np.isfinite(state)
+        ):
+            bad.append(prefix.rstrip("/"))
+    return bad

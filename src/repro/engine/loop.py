@@ -106,8 +106,9 @@ class LoopResult:
         history: phase name -> one named-loss dict per epoch.
         timings: phase name -> cumulative wall-clock seconds.
         epoch_timings: phase name -> per-epoch wall-clock seconds.
-        epochs_run: epochs actually executed (may be fewer than requested
-            when a callback stopped the run).
+        epochs_run: total epochs the history covers — executed epochs
+            plus, on a resumed run, the restored ones (may be fewer than
+            requested when a callback stopped the run).
         stopped_early: whether a callback requested the stop.
     """
 
@@ -156,11 +157,24 @@ class TrainingLoop:
         ]
         self.num_epochs = 0
         self.stop_requested = False
+        self.retry_requested = False
+        self.epochs_completed = 0
 
     # ------------------------------------------------------------------
     def request_stop(self) -> None:
         """Ask the loop to stop after the current epoch completes."""
         self.stop_requested = True
+
+    def request_retry(self) -> None:
+        """Ask the loop to re-run the current epoch instead of advancing.
+
+        Meant for callbacks that restored a snapshot after a failed epoch
+        (see :class:`~repro.engine.callbacks.NumericalHealthGuard`): the
+        loop fires ``on_epoch_rollback`` on every callback — so history
+        and timing records of the discarded epoch are dropped — and then
+        executes the same epoch index again.
+        """
+        self.retry_requested = True
 
     def notify_batch(
         self, epoch: int, phase: Phase, batch_index: int, loss: float
@@ -170,16 +184,74 @@ class TrainingLoop:
             callback.on_batch_end(self, epoch, phase, batch_index, loss)
 
     # ------------------------------------------------------------------
-    def run(self, num_epochs: int) -> LoopResult:
-        """Execute up to ``num_epochs`` epochs and return the result."""
+    # checkpoint/resume support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The loop's own training state: epoch counter, loss history,
+        and timing records — everything :meth:`run` accumulates that a
+        resumed run must carry forward for its :class:`LoopResult` to
+        match an uninterrupted run."""
+        return {
+            "epochs_completed": self.epochs_completed,
+            "history": {
+                name: [dict(entry) for entry in entries]
+                for name, entries in self._loss_history.history.items()
+            },
+            "timings": dict(self._timer.totals),
+            "epoch_timings": {
+                name: list(values)
+                for name, values in self._timer.epochs.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        missing = {"epochs_completed", "history", "timings", "epoch_timings"}
+        missing -= set(state)
+        if missing:
+            raise ValueError(
+                f"loop state is missing keys: {sorted(missing)}"
+            )
+        self.epochs_completed = int(state["epochs_completed"])
+        self._loss_history.history = {
+            name: [dict(entry) for entry in entries]
+            for name, entries in state["history"].items()
+        }
+        self._timer.totals = dict(state["timings"])
+        self._timer.epochs = {
+            name: list(values)
+            for name, values in state["epoch_timings"].items()
+        }
+
+    def resume(self, num_epochs: int, state: dict) -> LoopResult:
+        """Restore ``state`` and continue to ``num_epochs`` total epochs.
+
+        The returned :class:`LoopResult` covers the *whole* run — the
+        restored epochs plus the freshly executed ones — so a resumed
+        run's history is directly comparable to an uninterrupted run's.
+        """
+        self.load_state_dict(state)
+        return self.run(num_epochs, start_epoch=self.epochs_completed)
+
+    # ------------------------------------------------------------------
+    def run(self, num_epochs: int, start_epoch: int = 0) -> LoopResult:
+        """Execute epochs ``start_epoch..num_epochs-1`` and return the
+        result (``start_epoch > 0`` is the resume path — the loop assumes
+        the caller restored the matching state first)."""
         if num_epochs < 0:
             raise ValueError(f"num_epochs must be >= 0, got {num_epochs}")
+        if not 0 <= start_epoch <= num_epochs:
+            raise ValueError(
+                f"start_epoch must be in [0, {num_epochs}], got {start_epoch}"
+            )
         self.num_epochs = num_epochs
         self.stop_requested = False
-        epochs_run = 0
+        self.retry_requested = False
+        self.epochs_completed = start_epoch
         for callback in self.callbacks:
             callback.on_train_begin(self)
-        for epoch in range(num_epochs):
+        epoch = start_epoch
+        while epoch < num_epochs:
             for callback in self.callbacks:
                 callback.on_epoch_begin(self, epoch)
             logs: EpochLogs = {}
@@ -192,7 +264,13 @@ class TrainingLoop:
                 logs[phase.name] = losses
             for callback in self.callbacks:
                 callback.on_epoch_end(self, epoch, logs)
-            epochs_run += 1
+            if self.retry_requested:
+                self.retry_requested = False
+                for callback in self.callbacks:
+                    callback.on_epoch_rollback(self, epoch)
+                continue
+            epoch += 1
+            self.epochs_completed = epoch
             if self.stop_requested:
                 break
         for callback in self.callbacks:
@@ -207,6 +285,6 @@ class TrainingLoop:
                 name: list(values)
                 for name, values in self._timer.epochs.items()
             },
-            epochs_run=epochs_run,
+            epochs_run=self.epochs_completed,
             stopped_early=self.stop_requested,
         )

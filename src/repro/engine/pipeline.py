@@ -124,6 +124,32 @@ class CorpusPipeline:
             )
         return self._noise
 
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """The pipeline's only mutable state: the cached noise table.
+
+        The table is built from the *first* corpus and reused for the
+        whole run, so a resumed run must restore it rather than rebuild
+        from its own first (mid-training) corpus — otherwise every
+        negative draw after the resume diverges from the uninterrupted
+        run.  The raw counts are stored; alias-table construction is
+        deterministic, so the rebuilt table is bit-identical.
+        """
+        return {
+            "noise_counts": (
+                None if self._noise is None else self._noise.counts.copy()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        counts = state["noise_counts"]
+        if counts is None:
+            self._noise = None
+        else:
+            self._noise = NoiseDistribution(
+                counts, self.num_nodes, power=self.noise_power
+            )
+
     def epoch(self) -> Iterator[SkipGramBatch]:
         """Sample one corpus and stream it as minibatches."""
         corpus = self.sample_corpus()

@@ -38,20 +38,42 @@ _METAPATHS: dict[str, list[str]] = {
 
 
 class TransNMethod(EmbeddingMethod):
-    """Adapter exposing :class:`repro.core.TransN` as an EmbeddingMethod."""
+    """Adapter exposing :class:`repro.core.TransN` as an EmbeddingMethod.
+
+    Args:
+        config: model hyper-parameters (including ``checkpoint_every``
+            and ``health_policy``, which govern the fault-tolerance layer).
+        name: registry display name (Table V variants override it).
+        checkpoint_dir: when set, training snapshots into this directory
+            (see :meth:`repro.core.TransN.fit`).
+        resume: continue from the newest valid checkpoint in
+            ``checkpoint_dir`` instead of starting fresh.
+    """
 
     name = "TransN"
 
-    def __init__(self, config: TransNConfig | None = None, name: str | None = None) -> None:
+    def __init__(
+        self,
+        config: TransNConfig | None = None,
+        name: str | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+    ) -> None:
         config = config or TransNConfig()
         super().__init__(dim=config.dim, seed=config.seed)
         self.config = config
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         if name is not None:
             self.name = name
 
     def fit(self, graph: HeteroGraph) -> Embeddings:
         model = TransN(graph, self.config)
-        model.fit(callbacks=self.callbacks)
+        model.fit(
+            callbacks=self.callbacks,
+            checkpoint=self.checkpoint_dir,
+            resume=self.resume,
+        )
         self.last_run_ = model.last_run
         return model.embeddings()
 

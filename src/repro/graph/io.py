@@ -15,22 +15,48 @@ Formats:
   ``node_id v1 v2 ...`` per line), readable by most embedding tooling.
 
 Node IDs are stored as strings; loading returns string IDs.
+
+Both writers are atomic: content goes to a temporary file in the target
+directory, is fsynced, and then renamed over the destination, so a crash
+mid-write can never leave a truncated graph or embedding file behind —
+either the old file survives intact or the new one is complete.  Loaders
+reject malformed rows with errors naming the file, line number, and
+reason.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Mapping
+from typing import Iterator, Mapping, TextIO
 
 import numpy as np
 
 from repro.graph.heterograph import HeteroGraph, NodeId
 
 
+@contextmanager
+def _atomic_writer(path: Path) -> Iterator[TextIO]:
+    """Write-to-temp + fsync + rename: the destination either keeps its
+    old content or receives the complete new content, never a prefix."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def save_graph(graph: HeteroGraph, path: str | Path) -> None:
-    """Write ``graph`` as a typed TSV edge list (see module docstring)."""
+    """Atomically write ``graph`` as a typed TSV edge list (see module
+    docstring)."""
     path = Path(path)
-    with path.open("w") as handle:
+    with _atomic_writer(path) as handle:
         handle.write("# node\tnode_id\tnode_type\n")
         handle.write("# edge\tu\tv\tedge_type\tweight\n")
         for node in graph.nodes:
@@ -46,7 +72,8 @@ def load_graph(path: str | Path) -> HeteroGraph:
     """Read a graph written by :func:`save_graph`.
 
     Raises:
-        ValueError: on malformed records or unknown record kinds.
+        ValueError: on malformed records or unknown record kinds; the
+            message names the file, line number, and what was wrong.
     """
     graph = HeteroGraph()
     path = Path(path)
@@ -60,20 +87,28 @@ def load_graph(path: str | Path) -> HeteroGraph:
             if kind == "node":
                 if len(parts) != 3:
                     raise ValueError(
-                        f"{path}:{line_number}: node records need 3 fields"
+                        f"{path}:{line_number}: node records need 3 fields "
+                        f"(node_id, node_type), got {len(parts)}"
                     )
                 graph.add_node(parts[1], parts[2])
             elif kind == "edge":
                 if len(parts) != 5:
                     raise ValueError(
-                        f"{path}:{line_number}: edge records need 5 fields"
+                        f"{path}:{line_number}: edge records need 5 fields "
+                        f"(u, v, edge_type, weight), got {len(parts)}"
                     )
-                graph.add_edge(
-                    parts[1], parts[2], parts[3], weight=float(parts[4])
-                )
+                try:
+                    weight = float(parts[4])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: edge weight {parts[4]!r} "
+                        "is not a number"
+                    ) from None
+                graph.add_edge(parts[1], parts[2], parts[3], weight=weight)
             else:
                 raise ValueError(
-                    f"{path}:{line_number}: unknown record kind {kind!r}"
+                    f"{path}:{line_number}: unknown record kind {kind!r} "
+                    "(expected 'node' or 'edge')"
                 )
     return graph
 
@@ -81,13 +116,13 @@ def load_graph(path: str | Path) -> HeteroGraph:
 def save_embeddings(
     embeddings: Mapping[NodeId, np.ndarray], path: str | Path
 ) -> None:
-    """Write embeddings in word2vec text format."""
+    """Atomically write embeddings in word2vec text format."""
     path = Path(path)
     items = list(embeddings.items())
     if not items:
         raise ValueError("cannot save an empty embedding mapping")
     dim = len(items[0][1])
-    with path.open("w") as handle:
+    with _atomic_writer(path) as handle:
         handle.write(f"{len(items)} {dim}\n")
         for node, vector in items:
             vector = np.asarray(vector)
@@ -101,23 +136,47 @@ def save_embeddings(
 
 
 def load_embeddings(path: str | Path) -> dict[str, np.ndarray]:
-    """Read embeddings written by :func:`save_embeddings`."""
+    """Read embeddings written by :func:`save_embeddings`.
+
+    Raises:
+        ValueError: on a malformed header or row; the message names the
+            file, line number, and what was wrong.
+    """
     path = Path(path)
     with path.open() as handle:
         header = handle.readline().split()
         if len(header) != 2:
-            raise ValueError(f"{path}: malformed word2vec header")
-        count, dim = int(header[0]), int(header[1])
+            raise ValueError(
+                f"{path}:1: malformed word2vec header (expected "
+                f"'<count> <dim>', got {len(header)} fields)"
+            )
+        try:
+            count, dim = int(header[0]), int(header[1])
+        except ValueError:
+            raise ValueError(
+                f"{path}:1: word2vec header fields must be integers, "
+                f"got {header[0]!r} {header[1]!r}"
+            ) from None
         embeddings: dict[str, np.ndarray] = {}
-        for raw in handle:
+        for line_number, raw in enumerate(handle, start=2):
             parts = raw.split()
+            if not parts:
+                continue
             if len(parts) != dim + 1:
                 raise ValueError(
-                    f"{path}: expected {dim + 1} fields, got {len(parts)}"
+                    f"{path}:{line_number}: expected {dim + 1} fields "
+                    f"(node id + {dim} values), got {len(parts)}"
                 )
-            embeddings[parts[0]] = np.array(
-                [float(x) for x in parts[1:]], dtype=np.float64
-            )
+            try:
+                vector = np.array(
+                    [float(x) for x in parts[1:]], dtype=np.float64
+                )
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric embedding value "
+                    f"for node {parts[0]!r}"
+                ) from None
+            embeddings[parts[0]] = vector
     if len(embeddings) != count:
         raise ValueError(
             f"{path}: header promises {count} rows, found {len(embeddings)}"

@@ -46,6 +46,35 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """Parameter arrays in :meth:`parameters` order.
+
+        The walk over ``__dict__`` is insertion-ordered, so the order is
+        stable for a given module class — which is all positional
+        restore needs.
+        """
+        return {"params": [p.data.copy() for p in self.parameters()]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore parameters in place (gradients are cleared)."""
+        params = list(self.parameters())
+        saved = state["params"]
+        if len(saved) != len(params):
+            raise ValueError(
+                f"{type(self).__name__} has {len(params)} parameters, "
+                f"checkpoint holds {len(saved)}"
+            )
+        for param, array in zip(params, saved):
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"{type(self).__name__} parameter shape "
+                    f"{param.data.shape} does not match checkpoint shape "
+                    f"{array.shape}"
+                )
+            param.data[:] = array
+            param.grad = None
+
     def forward(self, *args, **kwargs) -> Tensor:
         raise NotImplementedError
 

@@ -42,6 +42,31 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer's internal state (moments, step
+        counters, learning rate) — *not* the parameters themselves, which
+        belong to their module."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError
+
+    def _check_kind(self, state: dict, kind: str) -> None:
+        got = state.get("kind")
+        if got != kind:
+            raise ValueError(
+                f"optimizer state kind mismatch: checkpoint holds "
+                f"{got!r}, this optimizer is {kind!r}"
+            )
+
+    def _check_buffer_count(self, buffers: list, name: str) -> None:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} holds {len(buffers)} buffers "
+                f"for {len(self.parameters)} parameters"
+            )
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -68,6 +93,22 @@ class SGD(Optimizer):
                 param.data -= self.lr * velocity
             else:
                 param.data -= self.lr * param.grad
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "sgd",
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_kind(state, "sgd")
+        self._check_buffer_count(state["velocity"], "velocity")
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        for buffer, saved in zip(self._velocity, state["velocity"]):
+            buffer[:] = saved
 
 
 class Adam(Optimizer):
@@ -107,6 +148,26 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        return {
+            "kind": "adam",
+            "lr": self.lr,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_kind(state, "adam")
+        self._check_buffer_count(state["m"], "m")
+        self._check_buffer_count(state["v"], "v")
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        for buffer, saved in zip(self._m, state["m"]):
+            buffer[:] = saved
+        for buffer, saved in zip(self._v, state["v"]):
+            buffer[:] = saved
+
 
 # ----------------------------------------------------------------------
 # sparse row optimizers
@@ -134,6 +195,15 @@ class RowOptimizer:
     ) -> None:
         raise NotImplementedError
 
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of moment buffers and lr — never of ``matrix``, which
+        is owned (and saved) by the trainer holding it."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError
+
 
 class RowSGD(RowOptimizer):
     """Plain SGD on rows; repeated rows receive the *mean* of their
@@ -158,6 +228,17 @@ class RowSGD(RowOptimizer):
         np.add.at(aggregated, inverse, grads)
         aggregated /= counts[:, None]
         self.matrix[unique] -= step * aggregated
+
+    def state_dict(self) -> dict:
+        return {"kind": "sgd", "lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "sgd":
+            raise ValueError(
+                f"row-optimizer state kind mismatch: checkpoint holds "
+                f"{state.get('kind')!r}, this optimizer is 'sgd'"
+            )
+        self.lr = float(state["lr"])
 
 
 class RowAdam(RowOptimizer):
@@ -202,6 +283,32 @@ class RowAdam(RowOptimizer):
         m_hat = m / (1.0 - self.beta1**self._t)
         v_hat = v / (1.0 - self.beta2**self._t)
         self.matrix[unique] -= step * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "adam",
+            "lr": self.lr,
+            "t": self._t,
+            "m": self._m.copy(),
+            "v": self._v.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "adam":
+            raise ValueError(
+                f"row-optimizer state kind mismatch: checkpoint holds "
+                f"{state.get('kind')!r}, this optimizer is 'adam'"
+            )
+        for name in ("m", "v"):
+            if state[name].shape != self.matrix.shape:
+                raise ValueError(
+                    f"RowAdam buffer {name!r} shape {state[name].shape} "
+                    f"does not match matrix shape {self.matrix.shape}"
+                )
+        self.lr = float(state["lr"])
+        self._t = int(state["t"])
+        self._m[:] = state["m"]
+        self._v[:] = state["v"]
 
 
 _ROW_OPTIMIZERS = {"sgd": RowSGD, "adam": RowAdam}

@@ -40,6 +40,10 @@ class NoiseDistribution:
             raise ValueError("noise distribution needs at least one count")
         self._sampler = AliasSampler(np.power(weights, power))
         self.num_nodes = num_nodes
+        # kept so the distribution can be checkpointed and rebuilt
+        # bit-identically (alias-table construction is deterministic)
+        self.counts = weights
+        self.power = power
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` negative node indices."""

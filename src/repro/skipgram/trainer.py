@@ -127,6 +127,29 @@ class SkipGramTrainer:
         loss = -np.log(pos_sig + eps) - np.log(1.0 - neg_sig + eps).sum(axis=1)
         return float(loss.mean())
 
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the trainer-owned state: the output (context)
+        matrix and both row-optimizer states.  The *input* embedding
+        matrix is deliberately excluded — it is borrowed from the caller
+        (TransN's view embeddings are shared with the cross-view
+        trainer), who saves it exactly once."""
+        return {
+            "context": self.context.copy(),
+            "input_optimizer": self.input_optimizer.state_dict(),
+            "context_optimizer": self.context_optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["context"].shape != self.context.shape:
+            raise ValueError(
+                f"context matrix shape {state['context'].shape} does not "
+                f"match trainer shape {self.context.shape}"
+            )
+        self.context[:] = state["context"]
+        self.input_optimizer.load_state_dict(state["input_optimizer"])
+        self.context_optimizer.load_state_dict(state["context_optimizer"])
+
     def loss_batch(
         self,
         centers: np.ndarray,

@@ -73,3 +73,42 @@ class TestAblationPresets:
         assert cfg.walk_floor == 10
         assert cfg.walk_cap == 32
         assert cfg.num_encoders == 6
+
+
+class TestConstructionValidation:
+    """Every trajectory-defining field is validated at construction and
+    the error names the offending field."""
+
+    @pytest.mark.parametrize(
+        "field_name,value",
+        [
+            ("dim", 0),
+            ("walk_length", 1),
+            ("walk_floor", 0),
+            ("num_iterations", 0),
+            ("lr_single", 0.0),
+            ("lr_cross", -0.01),
+            ("lr_cross_embeddings", 0.0),
+            ("num_negatives", 0),
+            ("num_encoders", 0),
+            ("cross_path_len", 1),
+            ("cross_paths_per_pair", 0),
+            ("batch_size", 0),
+            ("checkpoint_every", 0),
+        ],
+    )
+    def test_bad_field_named_in_error(self, field_name, value):
+        with pytest.raises(ValueError, match=field_name):
+            TransNConfig(**{field_name: value})
+
+    def test_walk_cap_below_floor(self):
+        with pytest.raises(ValueError, match="walk_cap"):
+            TransNConfig(walk_floor=5, walk_cap=3)
+
+    def test_bad_health_policy(self):
+        with pytest.raises(ValueError, match="health_policy"):
+            TransNConfig(health_policy="explode")
+
+    def test_valid_health_policies(self):
+        for policy in (None, "raise", "rollback", "skip"):
+            assert TransNConfig(health_policy=policy).health_policy == policy

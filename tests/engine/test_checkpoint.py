@@ -1,0 +1,211 @@
+"""Tests for the crash-safe checkpoint layer (repro.engine.checkpoint)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CallablePhase,
+    Checkpointer,
+    CheckpointError,
+    CheckpointManager,
+    TrainingLoop,
+    dump_state,
+    load_state,
+    non_finite_entries,
+)
+from repro.engine.checkpoint import _HEADER, FORMAT_VERSION, MAGIC
+
+
+def _sample_state():
+    return {
+        "step": 3,
+        "matrix": np.arange(6, dtype=np.float64).reshape(2, 3),
+        "nested": {"lr": 0.05, "history": [1.0, 0.5]},
+    }
+
+
+class _Provider:
+    """Minimal TrainingState for Checkpointer tests."""
+
+    def __init__(self):
+        self.value = 0.0
+        self.loads = 0
+
+    def state_dict(self):
+        return {"value": self.value}
+
+    def load_state_dict(self, state):
+        self.value = state["value"]
+        self.loads += 1
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        dump_state(_sample_state(), path)
+        loaded = load_state(path)
+        np.testing.assert_array_equal(
+            loaded["matrix"], _sample_state()["matrix"]
+        )
+        assert loaded["nested"] == _sample_state()["nested"]
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        dump_state(_sample_state(), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["state.ckpt"]
+
+    def test_failed_write_preserves_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "state.ckpt"
+        dump_state({"epoch": 1}, path)
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            dump_state({"epoch": 2}, path)
+        monkeypatch.undo()
+        # the old checkpoint is intact and no temp file lingers
+        assert load_state(path)["epoch"] == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["state.ckpt"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_state(tmp_path / "nope.ckpt")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        dump_state(_sample_state(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_state(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        path.write_bytes(b"REPRO")
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_state(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        dump_state(_sample_state(), path)
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTACKPT"
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_state(path)
+
+    def test_corrupted_payload(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        dump_state(_sample_state(), path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_state(path)
+
+    def test_future_version(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        payload = pickle.dumps({"x": 1})
+        import hashlib
+
+        header = _HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION + 1,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+        )
+        path.write_bytes(header + payload)
+        with pytest.raises(CheckpointError, match="future format version"):
+            load_state(path)
+
+
+class TestCheckpointManager:
+    def test_save_and_load(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"epoch": 1}, step=1)
+        checkpoint = manager.load(1)
+        assert checkpoint.step == 1
+        assert checkpoint.state["epoch"] == 1
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        for step in range(1, 6):
+            manager.save({"epoch": step}, step=step)
+        assert manager.steps() == [3, 4, 5]
+
+    def test_load_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.load_latest() is None
+        manager.save({"epoch": 1}, step=1)
+        manager.save({"epoch": 2}, step=2)
+        assert manager.load_latest().state["epoch"] == 2
+
+    def test_load_latest_falls_back_past_damage(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"epoch": 1}, step=1)
+        manager.save({"epoch": 2}, step=2)
+        newest = tmp_path / "ckpt-00000002.ckpt"
+        newest.write_bytes(newest.read_bytes()[:20])
+        with pytest.warns(UserWarning, match="skipping"):
+            checkpoint = manager.load_latest()
+        assert checkpoint.step == 1
+        assert checkpoint.state["epoch"] == 1
+
+    def test_load_latest_all_damaged(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"epoch": 1}, step=1)
+        path = tmp_path / "ckpt-00000001.ckpt"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="no readable checkpoint"):
+            with pytest.warns(UserWarning):
+                manager.load_latest()
+
+    def test_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestNonFiniteEntries:
+    def test_clean_state(self):
+        assert non_finite_entries(_sample_state()) == []
+
+    def test_flags_nan_with_path(self):
+        state = {"a": {"b": np.array([1.0, np.nan])}}
+        assert non_finite_entries(state) == ["a/b"]
+
+    def test_flags_inf(self):
+        state = {"w": np.array([np.inf])}
+        assert non_finite_entries(state) == ["w"]
+
+
+class TestCheckpointerCallback:
+    def _run(self, tmp_path, epochs, every):
+        manager = CheckpointManager(tmp_path, keep=10)
+        provider = _Provider()
+        phase = CallablePhase("train", lambda loop, epoch: {"loss": 1.0})
+        loop = TrainingLoop(
+            [phase],
+            callbacks=[Checkpointer(manager, provider, every=every)],
+        )
+        loop.run(epochs)
+        return manager
+
+    def test_cadence(self, tmp_path):
+        manager = self._run(tmp_path, epochs=5, every=2)
+        # every-2 snapshots plus the train-end save of epoch 5
+        assert manager.steps() == [2, 4, 5]
+
+    def test_no_duplicate_final_save(self, tmp_path):
+        manager = self._run(tmp_path, epochs=4, every=2)
+        assert manager.steps() == [2, 4]
+
+    def test_saved_loop_state_stamps_epoch(self, tmp_path):
+        manager = self._run(tmp_path, epochs=3, every=1)
+        checkpoint = manager.load(2)
+        assert checkpoint.state["loop"]["epochs_completed"] == 2
+        assert len(checkpoint.state["loop"]["history"]["train"]) == 2

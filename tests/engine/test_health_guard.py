@@ -1,0 +1,188 @@
+"""Tests for the NumericalHealthGuard callback."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    NumericalHealthError,
+    NumericalHealthGuard,
+    Phase,
+    TrainingLoop,
+)
+
+
+class _ScriptedPhase(Phase):
+    """Returns scripted losses: one value per *call* (not per epoch), so
+    rollback retries consume the next entry of the script."""
+
+    def __init__(self, script, name="train"):
+        super().__init__(name)
+        self.script = list(script)
+        self.calls = 0
+        self.lr = 0.1
+
+    def run(self, loop, epoch):
+        value = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        return {"loss": float(value)}
+
+
+class _Provider:
+    """TrainingState stub recording snapshot/restore traffic."""
+
+    def __init__(self):
+        self.value = 0.0
+        self.saved = []
+        self.restored = []
+
+    def state_dict(self):
+        self.saved.append(self.value)
+        return {"value": self.value}
+
+    def load_state_dict(self, state):
+        self.value = state["value"]
+        self.restored.append(state["value"])
+
+
+class TestConstruction:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown health policy"):
+            NumericalHealthGuard(policy="explode")
+
+    def test_rollback_needs_provider(self):
+        with pytest.raises(ValueError, match="state_provider"):
+            NumericalHealthGuard(policy="rollback")
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError, match="explosion_factor"):
+            NumericalHealthGuard(explosion_factor=1.0)
+
+
+class TestRaisePolicy:
+    def test_nan_loss_raises(self):
+        phase = _ScriptedPhase([1.0, float("nan")])
+        guard = NumericalHealthGuard(policy="raise")
+        loop = TrainingLoop([phase], callbacks=[guard])
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            loop.run(5)
+        assert guard.incidents[0][0] == 1  # failed at epoch index 1
+
+    def test_explosion_raises(self):
+        phase = _ScriptedPhase([1.0, 1.1, 0.9, 1.0, 50.0])
+        guard = NumericalHealthGuard(policy="raise", explosion_factor=10.0)
+        loop = TrainingLoop([phase], callbacks=[guard])
+        with pytest.raises(NumericalHealthError, match="exploded"):
+            loop.run(5)
+
+    def test_healthy_run_is_untouched(self):
+        phase = _ScriptedPhase([1.0, 0.9, 0.8, 0.7, 0.6])
+        guard = NumericalHealthGuard(policy="raise")
+        loop = TrainingLoop([phase], callbacks=[guard])
+        result = loop.run(5)
+        assert result.epochs_run == 5
+        assert guard.incidents == []
+
+    def test_warmup_noise_does_not_trip_explosion(self):
+        # fewer than three healthy values: no explosion check yet
+        phase = _ScriptedPhase([0.001, 10.0, 9.0, 8.0])
+        guard = NumericalHealthGuard(policy="raise")
+        loop = TrainingLoop([phase], callbacks=[guard])
+        assert loop.run(4).epochs_run == 4
+
+    def test_parameter_scan_catches_silent_nan(self):
+        class BadProvider:
+            def state_dict(self):
+                return {"weights": np.array([1.0, np.nan])}
+
+            def load_state_dict(self, state):
+                pass
+
+        phase = _ScriptedPhase([1.0, 1.0])
+        guard = NumericalHealthGuard(
+            policy="raise", state_provider=BadProvider()
+        )
+        loop = TrainingLoop([phase], callbacks=[guard])
+        with pytest.raises(NumericalHealthError, match="parameter state"):
+            loop.run(2)
+
+
+class TestSkipPolicy:
+    def test_skip_records_and_continues(self):
+        phase = _ScriptedPhase([1.0, float("inf"), 0.9, 0.8])
+        messages = []
+        guard = NumericalHealthGuard(policy="skip", print_fn=messages.append)
+        loop = TrainingLoop([phase], callbacks=[guard])
+        result = loop.run(4)
+        assert result.epochs_run == 4
+        assert [action for _, action, _ in guard.incidents] == ["skip"]
+        assert any("skipping" in m for m in messages)
+
+
+class TestRollbackPolicy:
+    def test_rollback_restores_and_halves_lr(self):
+        phase = _ScriptedPhase([1.0, float("nan"), 0.9, 0.8])
+        provider = _Provider()
+        guard = NumericalHealthGuard(
+            policy="rollback",
+            state_provider=provider,
+            check_parameters=False,
+            print_fn=lambda _: None,
+        )
+        loop = TrainingLoop([phase], callbacks=[guard])
+        result = loop.run(3)
+        # epoch 1 failed once and was re-run: 4 calls for 3 epochs
+        assert phase.calls == 4
+        assert result.epochs_run == 3
+        # the state of epoch 1's beginning was restored exactly once
+        assert provider.restored == [0.0]
+        assert phase.lr == pytest.approx(0.05)
+        # the discarded epoch left no trace in the loss history
+        assert [e["loss"] for e in result.history["train"]] == [1.0, 0.9, 0.8]
+
+    def test_consecutive_failures_halve_again(self):
+        phase = _ScriptedPhase([1.0, float("nan"), float("nan"), 0.9, 0.8])
+        provider = _Provider()
+        guard = NumericalHealthGuard(
+            policy="rollback",
+            state_provider=provider,
+            check_parameters=False,
+            print_fn=lambda _: None,
+        )
+        loop = TrainingLoop([phase], callbacks=[guard])
+        loop.run(3)
+        # halved on each of the two consecutive retries of epoch 1
+        assert phase.lr == pytest.approx(0.025)
+        assert len(provider.restored) == 2
+
+    def test_retry_budget_exhausted(self):
+        phase = _ScriptedPhase([1.0, float("nan")])  # NaN forever after
+        provider = _Provider()
+        guard = NumericalHealthGuard(
+            policy="rollback",
+            state_provider=provider,
+            max_retries=3,
+            check_parameters=False,
+            print_fn=lambda _: None,
+        )
+        loop = TrainingLoop([phase], callbacks=[guard])
+        with pytest.raises(NumericalHealthError, match="retry budget"):
+            loop.run(5)
+        assert len(provider.restored) == 3
+
+    def test_budget_resets_after_healthy_epoch(self):
+        # two isolated failures separated by healthy epochs: each retries
+        # fine even with max_retries=1
+        script = [1.0, float("nan"), 0.9, float("nan"), 0.8, 0.7]
+        phase = _ScriptedPhase(script)
+        provider = _Provider()
+        guard = NumericalHealthGuard(
+            policy="rollback",
+            state_provider=provider,
+            max_retries=1,
+            check_parameters=False,
+            print_fn=lambda _: None,
+        )
+        loop = TrainingLoop([phase], callbacks=[guard])
+        result = loop.run(4)
+        assert result.epochs_run == 4
+        assert len(provider.restored) == 2

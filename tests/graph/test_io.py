@@ -106,3 +106,68 @@ class TestEmbeddingRoundTrip:
         path.write_text("1 3\na 1 2\n")
         with pytest.raises(ValueError, match="expected 4 fields"):
             load_embeddings(path)
+
+
+class TestMalformedRows:
+    def test_bad_edge_weight_names_file_and_line(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text(
+            "node\ta\tauthor\nnode\tb\tauthor\n"
+            "edge\ta\tb\tcoauthor\tnot-a-number\n"
+        )
+        with pytest.raises(ValueError, match=r"g\.tsv:3:.*not a number"):
+            load_graph(path)
+
+    def test_bad_embedding_header_names_line(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        path.write_text("x 3\na 1 2 3\n")
+        with pytest.raises(ValueError, match=r"emb\.txt:1:.*integers"):
+            load_embeddings(path)
+
+    def test_bad_embedding_value_names_line(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        path.write_text("2 3\na 1 2 3\nb 1 oops 3\n")
+        with pytest.raises(ValueError, match=r"emb\.txt:3:.*non-numeric"):
+            load_embeddings(path)
+
+
+class TestAtomicWrites:
+    def test_failed_graph_save_keeps_old_file(
+        self, academic, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "g.tsv"
+        save_graph(academic, path)
+        before = path.read_text()
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            save_graph(academic, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["g.tsv"]
+
+    def test_failed_embedding_save_keeps_old_file(
+        self, rng, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "emb.txt"
+        save_embeddings({"a": rng.normal(size=3)}, path)
+        before = path.read_text()
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("full"))
+        )
+        with pytest.raises(OSError):
+            save_embeddings({"b": rng.normal(size=3)}, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["emb.txt"]
+
+    def test_no_tmp_left_on_success(self, academic, tmp_path):
+        save_graph(academic, tmp_path / "g.tsv")
+        assert [p.name for p in tmp_path.iterdir()] == ["g.tsv"]
