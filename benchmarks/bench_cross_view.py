@@ -39,6 +39,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.cross_view import CrossViewTrainer  # noqa: E402
+from repro.engine.observability import (  # noqa: E402
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+)
 from repro.graph import HeteroGraph, build_view_pairs, separate_views  # noqa: E402
 
 # (num_users, num_items, num_tags, edges_per_view, paths_per_epoch)
@@ -165,21 +170,28 @@ def main(argv: list[str] | None = None) -> None:
     sizes = FAST_SIZES if args.fast else FULL_SIZES
     repeats = 2 if args.fast else 3
 
+    metrics = MetricsRegistry()
+    tracer = Tracer()
     results = []
-    for size in sizes:
-        print(
-            f"benchmarking {size[0]}+{size[1]}+{size[2]} nodes, "
-            f"{size[4]} paths/epoch ...",
-            flush=True,
-        )
-        entry = bench_one_size(size, args.dim, args.seed, repeats)
-        print(
-            f"  chunks {entry['chunks_batched']:5d}"
-            f"  scalar {entry['scalar_s']:8.3f}s"
-            f"  batched {entry['batched_s']:8.3f}s"
-            f"  speedup {entry['speedup']:6.1f}x"
-        )
-        results.append(entry)
+    with tracer.span("bench_cross_view", kind="run"):
+        for size in sizes:
+            print(
+                f"benchmarking {size[0]}+{size[1]}+{size[2]} nodes, "
+                f"{size[4]} paths/epoch ...",
+                flush=True,
+            )
+            label = f"{size[0]}+{size[1]}+{size[2]}"
+            with tracer.span(label, kind="custom", paths_per_epoch=size[4]):
+                with metrics.timer(f"size/{label}"):
+                    entry = bench_one_size(size, args.dim, args.seed, repeats)
+            metrics.observe("speedup/epoch", entry["speedup"])
+            print(
+                f"  chunks {entry['chunks_batched']:5d}"
+                f"  scalar {entry['scalar_s']:8.3f}s"
+                f"  batched {entry['batched_s']:8.3f}s"
+                f"  speedup {entry['speedup']:6.1f}x"
+            )
+            results.append(entry)
 
     largest = results[-1]
     payload = {
@@ -195,6 +207,10 @@ def main(argv: list[str] | None = None) -> None:
             "paths_per_epoch": largest["paths_per_epoch"],
             "epoch_speedup": largest["speedup"],
         },
+        # per-size wall-clock + span tree in the shared run-report schema
+        "observability": RunReport(
+            metrics, tracer, metadata={"benchmark": "cross_view"}
+        ).to_dict(),
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

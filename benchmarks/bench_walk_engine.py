@@ -38,6 +38,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.engine import CorpusPipeline  # noqa: E402
+from repro.engine.observability import (  # noqa: E402
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+)
 from repro.graph import HeteroGraph, separate_views  # noqa: E402
 from repro.walks import (  # noqa: E402
     BatchedBiasedCorrelatedWalker,
@@ -151,18 +156,30 @@ def main(argv: list[str] | None = None) -> None:
     length = 8 if args.fast else 20
     repeats = 2 if args.fast else 1
 
+    metrics = MetricsRegistry()
+    tracer = Tracer()
     results = []
-    for num_nodes, num_edges in sizes:
-        print(f"benchmarking {num_nodes} nodes / {num_edges} edges ...", flush=True)
-        entry = bench_one_size(num_nodes, num_edges, length, args.seed, repeats)
-        for key in ("uniform", "biased", "epoch_streaming"):
-            stats = entry[key]
+    with tracer.span("bench_walk_engine", kind="run"):
+        for num_nodes, num_edges in sizes:
             print(
-                f"  {key:16s} scalar {stats['scalar_s']:8.3f}s"
-                f"  batched {stats['batched_s']:8.3f}s"
-                f"  speedup {stats['speedup']:6.1f}x"
+                f"benchmarking {num_nodes} nodes / {num_edges} edges ...",
+                flush=True,
             )
-        results.append(entry)
+            label = f"{num_nodes}x{num_edges}"
+            with tracer.span(label, kind="custom", nodes=num_nodes):
+                with metrics.timer(f"size/{label}"):
+                    entry = bench_one_size(
+                        num_nodes, num_edges, length, args.seed, repeats
+                    )
+            for key in ("uniform", "biased", "epoch_streaming"):
+                stats = entry[key]
+                metrics.observe(f"speedup/{key}", stats["speedup"])
+                print(
+                    f"  {key:16s} scalar {stats['scalar_s']:8.3f}s"
+                    f"  batched {stats['batched_s']:8.3f}s"
+                    f"  speedup {stats['speedup']:6.1f}x"
+                )
+            results.append(entry)
 
     largest = results[-1]
     payload = {
@@ -178,6 +195,10 @@ def main(argv: list[str] | None = None) -> None:
             "uniform_corpus_speedup": largest["uniform"]["speedup"],
             "epoch_streaming_speedup": largest["epoch_streaming"]["speedup"],
         },
+        # per-size wall-clock + span tree in the shared run-report schema
+        "observability": RunReport(
+            metrics, tracer, metadata={"benchmark": "walk_engine"}
+        ).to_dict(),
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

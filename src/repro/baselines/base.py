@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from pathlib import Path
 
 import numpy as np
 
 from repro.engine import (
+    NULL_REGISTRY,
+    NULL_TRACER,
     Callback,
     LoopResult,
+    MetricsRegistry,
     NumericalHealthGuard,
     Phase,
+    RunReport,
+    Tracer,
     TrainingLoop,
 )
 from repro.graph.heterograph import HeteroGraph, NodeId
@@ -35,23 +41,80 @@ class EmbeddingMethod(ABC):
 
     name: str = "unnamed"
 
-    def __init__(self, dim: int = 32, seed: int = 0) -> None:
+    def __init__(
+        self,
+        dim: int = 32,
+        seed: int = 0,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
+    ) -> None:
         if dim < 1:
             raise ValueError("dim must be >= 1")
         self.dim = dim
         self.seed = seed
         self.callbacks: list[Callback] = []
         self.last_run_: LoopResult | None = None
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.tracer: Tracer = NULL_TRACER
+        self.report_path: Path | None = None
+        if report is not None:
+            self.enable_report(report, trace_memory=trace_memory)
 
     @abstractmethod
     def fit(self, graph: HeteroGraph) -> Embeddings:
         """Train on ``graph`` and return an embedding per node."""
 
+    def enable_report(
+        self, path: str | Path, trace_memory: bool = False
+    ) -> None:
+        """Collect metrics + spans during :meth:`fit` and write a
+        versioned JSON run report (see docs/observability.md) to ``path``
+        when it finishes."""
+        self.report_path = Path(path)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(trace_memory=trace_memory)
+
     def _run_loop(self, phases: list[Phase], num_epochs: int) -> LoopResult:
         """Run an engine loop with this method's callbacks attached."""
-        loop = TrainingLoop(phases, callbacks=self.callbacks)
-        self.last_run_ = loop.run(num_epochs)
+        if self.metrics.enabled:
+            for phase in phases:
+                trainer = getattr(phase, "trainer", None)
+                if trainer is not None and hasattr(trainer, "metrics"):
+                    trainer.metrics = self.metrics
+                    trainer.metric_prefix = f"{phase.name}/"
+        loop = TrainingLoop(
+            phases,
+            callbacks=self.callbacks,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        try:
+            self.last_run_ = loop.run(num_epochs)
+        finally:
+            self._write_report()
         return self.last_run_
+
+    def _write_report(self) -> None:
+        """Serialize the run report if :meth:`enable_report` was called.
+
+        Methods that train through :meth:`_run_loop` get this for free;
+        hand-rolled ``fit`` loops (R-GCN, SimplE, HIN2Vec) call it at the
+        end of training themselves.
+        """
+        if self.report_path is None:
+            return
+        try:
+            RunReport(
+                self.metrics,
+                self.tracer,
+                metadata={
+                    "model": self.name.lower(),
+                    "dim": self.dim,
+                    "seed": self.seed,
+                },
+            ).write(self.report_path)
+        finally:
+            self.tracer.close()
 
     def attach_health_guard(self, policy: str = "raise") -> None:
         """Watch this method's training for NaN/Inf and loss explosions.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
@@ -36,8 +38,12 @@ class DeepWalk(EmbeddingMethod):
         epochs: int = 4,
         lr: float = 0.08,
         batch_size: int = 128,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         self.walk_length = walk_length
         self.walks_per_node = walks_per_node
         self.window = window

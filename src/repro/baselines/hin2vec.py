@@ -15,6 +15,8 @@ walks; negatives corrupt y with a random node of the same type.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.graph.heterograph import HeteroGraph, NodeId
@@ -47,8 +49,12 @@ class HIN2Vec(EmbeddingMethod):
         epochs: int = 4,
         lr: float = 0.08,
         batch_size: int = 256,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         if max_hops < 1:
             raise ValueError("max_hops must be >= 1")
         self.max_hops = max_hops
@@ -122,31 +128,42 @@ class HIN2Vec(EmbeddingMethod):
         node_emb = self._init_matrix(graph.num_nodes, rng)
         relation_emb: np.ndarray | None = None
 
-        for _ in range(self.epochs):
-            xs, ys, rels = self._collect_pairs(graph, rng)
-            if xs.size == 0:
-                break
-            if relation_emb is None or relation_emb.shape[0] < len(
-                self.relation_vocabulary
-            ):
-                new = self._init_matrix(len(self.relation_vocabulary), rng)
-                if relation_emb is not None:
-                    new[: relation_emb.shape[0]] = relation_emb
-                relation_emb = new
-            order = rng.permutation(xs.size)
-            xs, ys, rels = xs[order], ys[order], rels[order]
-            for start in range(0, xs.size, self.batch_size):
-                end = min(start + self.batch_size, xs.size)
-                self._train_batch(
-                    node_emb,
-                    relation_emb,
-                    xs[start:end],
-                    ys[start:end],
-                    rels[start:end],
-                    nodes_by_type,
-                    type_of_index,
-                    rng,
-                )
+        with self.tracer.span("run", kind="run", num_epochs=self.epochs):
+            for epoch in range(self.epochs):
+                with self.tracer.span("epoch", kind="epoch", epoch=epoch):
+                    xs, ys, rels = self._collect_pairs(graph, rng)
+                    if xs.size == 0:
+                        break
+                    if relation_emb is None or relation_emb.shape[0] < len(
+                        self.relation_vocabulary
+                    ):
+                        new = self._init_matrix(
+                            len(self.relation_vocabulary), rng
+                        )
+                        if relation_emb is not None:
+                            new[: relation_emb.shape[0]] = relation_emb
+                        relation_emb = new
+                    order = rng.permutation(xs.size)
+                    xs, ys, rels = xs[order], ys[order], rels[order]
+                    for start in range(0, xs.size, self.batch_size):
+                        end = min(start + self.batch_size, xs.size)
+                        self._train_batch(
+                            node_emb,
+                            relation_emb,
+                            xs[start:end],
+                            ys[start:end],
+                            rels[start:end],
+                            nodes_by_type,
+                            type_of_index,
+                            rng,
+                        )
+                    if self.metrics.enabled:
+                        self.metrics.counter("hin2vec/pairs", xs.size)
+                        self.metrics.gauge(
+                            "hin2vec/relation_vocabulary",
+                            len(self.relation_vocabulary),
+                        )
+        self._write_report()
         return self._as_dict(graph, node_emb)
 
     def _train_batch(

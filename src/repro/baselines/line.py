@@ -10,6 +10,8 @@ engine's :class:`~repro.engine.EdgeSamplingPipeline`.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.engine import EdgeSamplingPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
@@ -30,8 +32,12 @@ class LINE(EmbeddingMethod):
         num_negatives: int = 5,
         lr: float = 0.15,
         batch_size: int = 256,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         self.num_samples = num_samples
         self.num_negatives = num_negatives
         self.lr = lr

@@ -8,6 +8,8 @@ is the behaviour of the original implementation followed by gap-filling.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.skipgram import SkipGramTrainer
@@ -34,8 +36,12 @@ class Metapath2Vec(EmbeddingMethod):
         epochs: int = 4,
         lr: float = 0.08,
         batch_size: int = 128,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         self.metapath = list(metapath)
         self.walk_length = walk_length
         self.walks_per_node = walks_per_node

@@ -17,6 +17,8 @@ method's.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.engine import CallablePhase, CorpusPipeline, Phase, SkipGramPhase
@@ -45,8 +47,12 @@ class MVE(EmbeddingMethod):
         lr: float = 0.08,
         consensus_pull: float = 0.2,
         batch_size: int = 128,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         self.walk_length = walk_length
         self.walks_per_node = walks_per_node
         self.window = window

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
@@ -28,8 +30,12 @@ class Node2Vec(EmbeddingMethod):
         epochs: int = 4,
         lr: float = 0.08,
         batch_size: int = 128,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         self.p = p
         self.q = q
         self.walk_length = walk_length

@@ -16,6 +16,8 @@ method's.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.graph.heterograph import HeteroGraph
@@ -38,8 +40,12 @@ class SimplE(EmbeddingMethod):
         num_negatives: int = 2,
         batch_size: int = 512,
         l2: float = 1e-5,
+        report: str | Path | None = None,
+        trace_memory: bool = False,
     ) -> None:
-        super().__init__(dim=dim, seed=seed)
+        super().__init__(
+            dim=dim, seed=seed, report=report, trace_memory=trace_memory
+        )
         if dim % 2:
             raise ValueError("SimplE needs an even dim (head/tail halves)")
         self.half_dim = dim // 2
@@ -70,25 +76,34 @@ class SimplE(EmbeddingMethod):
         vs = np.array([graph.index_of(e.v) for e in edges], dtype=np.int64)
         rs = np.array([rel_index[e.edge_type] for e in edges], dtype=np.int64)
 
-        for _ in range(self.epochs):
-            order = rng.permutation(len(edges))
-            for start in range(0, len(edges), self.batch_size):
-                pick = order[start : start + self.batch_size]
-                b = pick.size
-                batches = [(us[pick], vs[pick], rs[pick], np.ones(b))]
-                for _ in range(self.num_negatives):
-                    corrupt_tail = rng.random(b) < 0.5
-                    nu = np.where(
-                        corrupt_tail, us[pick], rng.integers(n, size=b)
-                    )
-                    nv = np.where(
-                        corrupt_tail, rng.integers(n, size=b), vs[pick]
-                    )
-                    batches.append((nu, nv, rs[pick], np.zeros(b)))
-                for bu, bv, br, target in batches:
-                    self._step(head, tail, rel_fwd, rel_inv, bu, bv, br, target)
+        with self.tracer.span("run", kind="run", num_epochs=self.epochs):
+            for epoch in range(self.epochs):
+                with self.tracer.span("epoch", kind="epoch", epoch=epoch):
+                    order = rng.permutation(len(edges))
+                    for start in range(0, len(edges), self.batch_size):
+                        pick = order[start : start + self.batch_size]
+                        b = pick.size
+                        batches = [(us[pick], vs[pick], rs[pick], np.ones(b))]
+                        for _ in range(self.num_negatives):
+                            corrupt_tail = rng.random(b) < 0.5
+                            nu = np.where(
+                                corrupt_tail, us[pick], rng.integers(n, size=b)
+                            )
+                            nv = np.where(
+                                corrupt_tail, rng.integers(n, size=b), vs[pick]
+                            )
+                            batches.append((nu, nv, rs[pick], np.zeros(b)))
+                        for bu, bv, br, target in batches:
+                            self._step(
+                                head, tail, rel_fwd, rel_inv, bu, bv, br, target
+                            )
+                        self.metrics.counter(
+                            "simple/triples_seen",
+                            sum(part[0].size for part in batches),
+                        )
 
         final = np.hstack([head, tail])
+        self._write_report()
         return self._as_dict(graph, final)
 
     def _step(

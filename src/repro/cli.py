@@ -6,7 +6,8 @@ Subcommands::
     repro stats    <graph.tsv> [--labels l.tsv]
     repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32]
                    [--checkpoint-dir ckpts/ --checkpoint-every 2 --resume]
-                   [--health-policy raise|rollback|skip] ...
+                   [--health-policy raise|rollback|skip]
+                   [--report run.json --trace] ...
     repro classify <graph.tsv> <labels.tsv> [--method transn] ...
     repro linkpred <graph.tsv> [--method transn] [--removal 0.4] ...
 
@@ -66,8 +67,12 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
     checkpoint_every = getattr(args, "checkpoint_every", 1)
     resume = getattr(args, "resume", False)
     health_policy = getattr(args, "health_policy", None)
+    report = getattr(args, "report", None)
+    trace = getattr(args, "trace", False)
     if resume and checkpoint_dir is None:
         raise SystemExit("--resume needs --checkpoint-dir")
+    if trace and report is None:
+        raise SystemExit("--trace needs --report")
     if name == "transn":
         try:
             config = TransNConfig(
@@ -108,6 +113,8 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 method.attach_health_guard(health_policy)
             except ValueError as error:
                 raise SystemExit(str(error)) from None
+    if report is not None:
+        method.enable_report(report, trace_memory=trace)
     if getattr(args, "verbose", False):
         from repro.engine import ProgressReporter
 
@@ -182,6 +189,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     _print_engine_summary(method)
     save_embeddings(embeddings, args.out)
     print(f"wrote {len(embeddings)} embeddings to {args.out}")
+    if getattr(args, "report", None):
+        print(f"wrote run report to {args.report}")
     return 0
 
 
@@ -290,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="guard training against NaN/Inf and loss explosions: raise "
         "(fail fast), rollback (restore last checkpoint and halve the "
         "offending learning rate; transn only), or skip (log and continue)",
+    )
+    p_train.add_argument(
+        "--report",
+        help="write a versioned JSON run report (metrics, per-phase "
+        "timings, span tree) to this path — see docs/observability.md",
+    )
+    p_train.add_argument(
+        "--trace",
+        action="store_true",
+        help="include tracemalloc memory peaks in the report's spans "
+        "(needs --report; roughly doubles allocation cost)",
     )
     p_train.set_defaults(func=_cmd_train)
 

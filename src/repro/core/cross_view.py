@@ -34,10 +34,11 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd.functional import l2_normalize_rows
+from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
 from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View, ViewPair, paired_subviews
 from repro.nn import Adam
-from repro.nn.optim import RowAdam, RowOptimizer, make_row_optimizer
+from repro.nn.optim import RowAdam, RowOptimizer, gradient_norm, make_row_optimizer
 from repro.walks import BatchedBiasedCorrelatedWalker, BatchedUniformWalker
 from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
 
@@ -127,6 +128,9 @@ class CrossViewTrainer:
         self.normalize = normalize_similarity
         self.batched = batched
 
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self._metric_scope = ""  # set per direction while training
+
         self.sub_i, self.sub_j = paired_subviews(pair)
         walker_cls = (
             BatchedUniformWalker
@@ -172,6 +176,19 @@ class CrossViewTrainer:
     def _start_indices(self, subview: View) -> np.ndarray:
         indices = subview.graph.indices_of(self._common)
         return indices[indices >= 0]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def pair_label(self) -> str:
+        """Stable metric namespace of this view-pair, ``<type_i>+<type_j>``."""
+        return f"{self.pair.view_i.edge_type}+{self.pair.view_j.edge_type}"
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route this pair's per-direction cross-view metrics (Eq. 11-14
+        losses, chunk counts, translator gradient norms) into ``metrics``."""
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # checkpoint protocol
@@ -279,6 +296,14 @@ class CrossViewTrainer:
 
         self._translator_optim.zero_grad()
         total.backward()
+        if self.metrics.enabled:
+            self.metrics.observe(
+                f"cross_view/{self.pair_label}/{self._metric_scope}"
+                "grad_norm/translators",
+                gradient_norm(
+                    param.grad for param in self._translator_optim.parameters
+                ),
+            )
         self._translator_optim.step()
         if a_src.grad is not None:
             source_adam.update(
@@ -354,8 +379,11 @@ class CrossViewTrainer:
         chunks_j = self._sample_chunks(
             self.sub_j, self._walker_j, self._starts_j
         )
+        type_i = self.pair.view_i.edge_type
+        type_j = self.pair.view_j.edge_type
         directions = (
             (
+                f"{type_i}->{type_j}",
                 chunks_i,
                 self._map_i_to_i,
                 self._map_i_to_j,
@@ -367,6 +395,7 @@ class CrossViewTrainer:
                 self.translator_ji,
             ),
             (
+                f"{type_j}->{type_i}",
                 chunks_j,
                 self._map_j_to_j,
                 self._map_j_to_i,
@@ -378,11 +407,21 @@ class CrossViewTrainer:
                 self.translator_ij,
             ),
         )
-        for direction in directions:
-            t, r, n = self._train_direction(*direction)
+        for label, *direction in directions:
+            self._metric_scope = f"{label}/"
+            try:
+                t, r, n = self._train_direction(*direction)
+            finally:
+                self._metric_scope = ""
             losses.translation += t
             losses.reconstruction += r
             losses.num_paths += n
+            if self.metrics.enabled:
+                scope = f"cross_view/{self.pair_label}/{label}"
+                self.metrics.counter(f"{scope}/chunks", n)
+                if n:
+                    self.metrics.observe(f"{scope}/translation", t / n)
+                    self.metrics.observe(f"{scope}/reconstruction", r / n)
         if losses.num_paths:
             losses.translation /= losses.num_paths
             losses.reconstruction /= losses.num_paths

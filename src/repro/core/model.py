@@ -24,8 +24,11 @@ from repro.engine import (
     Checkpointer,
     CheckpointManager,
     LoopResult,
+    MetricsRegistry,
     NumericalHealthGuard,
     Phase,
+    RunReport,
+    Tracer,
     TrainingLoop,
 )
 from repro.graph.heterograph import HeteroGraph, NodeId
@@ -352,6 +355,10 @@ class TransN:
         callbacks: list[Callback] | tuple[Callback, ...] = (),
         checkpoint: "CheckpointManager | str | Path | None" = None,
         resume: bool = False,
+        report: "str | Path | None" = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        trace_memory: bool = False,
     ) -> TrainingHistory:
         """Run Algorithm 1 for K iterations; returns the loss history.
 
@@ -378,6 +385,22 @@ class TransN:
           :class:`repro.engine.NumericalHealthGuard` with that policy
           watches every iteration's losses and parameters.
 
+        Observability (see docs/observability.md):
+
+        - ``report``: path of a versioned JSON run report to write when
+          the run finishes — per-phase loss series and timings, per-view
+          single-view losses, per-direction translation/reconstruction
+          losses (Eq. 11-14), gradient norms, negative-sampling stats,
+          and the run → epoch → phase span tree.
+        - ``metrics`` / ``tracer``: supply your own registry/tracer
+          instead of the ones ``report`` would create (also enables
+          collection without writing a file).
+        - ``trace_memory``: include ``tracemalloc`` peaks in the spans
+          (costs roughly 2x on allocation-heavy code; off by default).
+
+        With none of these set the observability layer is the no-op
+        :data:`repro.engine.NULL_REGISTRY` path and costs nothing.
+
         Calling :meth:`fit` again continues training from the current
         state (useful for convergence studies).
         """
@@ -391,6 +414,18 @@ class TransN:
             raise ValueError(
                 "resume=True needs a checkpoint directory or manager"
             )
+
+        observing = report is not None or metrics is not None
+        if observing and metrics is None:
+            metrics = MetricsRegistry()
+        owns_tracer = observing and tracer is None
+        if owns_tracer:
+            tracer = Tracer(trace_memory=trace_memory)
+        if observing:
+            for trainer in self.single_trainers:
+                trainer.bind_metrics(metrics)
+            for trainer in self.cross_trainers:
+                trainer.bind_metrics(metrics)
 
         engine_callbacks: list[Callback] = []
         if self.config.health_policy is not None:
@@ -423,11 +458,18 @@ class TransN:
             )
 
         loop = TrainingLoop(
-            self._phases, callbacks=(*engine_callbacks, *callbacks)
+            self._phases,
+            callbacks=(*engine_callbacks, *callbacks),
+            metrics=metrics,
+            tracer=tracer,
         )
         if loop_state is not None:
             loop.load_state_dict(loop_state)
-        self.last_run = loop.run(iterations, start_epoch=start_epoch)
+        try:
+            self.last_run = loop.run(iterations, start_epoch=start_epoch)
+        finally:
+            if owns_tracer:
+                tracer.close()
         # the restored loop state carries the pre-interruption totals; count
         # only the seconds this call actually spent
         restored = dict(loop_state["timings"]) if loop_state else {}
@@ -435,6 +477,22 @@ class TransN:
             new_seconds = seconds - restored.get(name, 0.0)
             self.timings[name] = self.timings.get(name, 0.0) + new_seconds
         self._fitted = True
+        if report is not None:
+            RunReport(
+                metrics,
+                tracer,
+                metadata={
+                    "model": "transn",
+                    "config": asdict(self.config),
+                    "graph": {
+                        "num_nodes": self.graph.num_nodes,
+                        "num_edges": self.graph.num_edges,
+                        "num_views": len(self.views),
+                        "num_view_pairs": len(self.view_pairs),
+                    },
+                    "epochs_run": self.last_run.epochs_run,
+                },
+            ).write(report)
         return self.history
 
     # ------------------------------------------------------------------

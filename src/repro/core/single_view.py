@@ -10,6 +10,7 @@ embedding matrix.  Batching and negative sampling go through the shared
 from __future__ import annotations
 
 from repro.engine import CorpusPipeline
+from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
 from repro.graph.views import View
 from repro.skipgram import SkipGramTrainer, window_for_view
 from repro.walks import (
@@ -71,6 +72,7 @@ class SingleViewTrainer:
         else:
             self.walker = BatchedBiasedCorrelatedWalker(view, rng=rng)
         self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
+        self.metrics: MetricsRegistry = NULL_REGISTRY
         self._last_corpus: WalkCorpus | None = None
         self.pipeline = CorpusPipeline(
             sample_corpus=self.sample_corpus,
@@ -98,15 +100,30 @@ class SingleViewTrainer:
         )
         return self._last_corpus
 
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route this view's metrics (and the inner SGNS trainer's
+        per-batch gradient/negative-sampling stats) into ``metrics``,
+        namespaced by the view's edge type."""
+        self.metrics = metrics
+        self.trainer.metrics = metrics
+        self.trainer.metric_prefix = f"single_view/{self.view.edge_type}/"
+
     def train_epoch(self, lr: float) -> float:
         """One pass (lines 4-7 of Algorithm 1): returns the mean SGNS loss."""
-        total, batches = 0.0, 0
+        total, batches, pairs = 0.0, 0, 0
         for batch in self.pipeline.epoch():
             total += self.trainer.train_batch(
                 batch.centers, batch.contexts, batch.negatives, lr=lr
             )
             batches += 1
-        return total / batches if batches else 0.0
+            pairs += batch.centers.size
+        mean = total / batches if batches else 0.0
+        if self.metrics.enabled:
+            label = self.view.edge_type
+            self.metrics.observe(f"single_view/{label}/loss", mean)
+            self.metrics.counter(f"single_view/{label}/batches", batches)
+            self.metrics.counter(f"single_view/{label}/pairs", pairs)
+        return mean
 
     # ------------------------------------------------------------------
     # checkpoint protocol

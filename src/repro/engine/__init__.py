@@ -18,10 +18,16 @@ the same three pieces:
   callback persists them on an epoch cadence; ``TrainingLoop.resume``
   continues an interrupted run bit-exactly; and the
   :class:`NumericalHealthGuard` catches NaN/Inf losses and loss
-  explosions with a raise/rollback/skip policy.
+  explosions with a raise/rollback/skip policy;
+- an **observability layer** (see ``docs/observability.md``): the
+  :class:`MetricsRegistry` collects counters/gauges/timers/bounded
+  series, the :class:`Tracer` records run → epoch → phase spans with
+  optional memory peaks, and a :class:`RunReport` serializes both to a
+  versioned JSON file — all zero-cost via the :data:`NULL_REGISTRY` /
+  :data:`NULL_TRACER` no-op singletons when nothing asks for a report.
 
 This is the seam where instrumentation, scheduling, and future
-parallelism/observability work plug in once and apply to every method.
+parallelism work plug in once and apply to every method.
 """
 
 from repro.engine.callbacks import (
@@ -51,6 +57,17 @@ from repro.engine.loop import (
     SkipGramPhase,
     TrainingLoop,
 )
+from repro.engine.observability import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    RunReport,
+    Span,
+    Tracer,
+    load_report,
+)
 from repro.engine.pipeline import (
     BatchSource,
     CorpusPipeline,
@@ -72,16 +89,25 @@ __all__ = [
     "LinearLRDecay",
     "LoopResult",
     "LossHistory",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
     "NumericalHealthError",
     "NumericalHealthGuard",
     "Phase",
     "PhaseTimer",
     "ProgressReporter",
+    "RunReport",
     "SkipGramBatch",
     "SkipGramPhase",
+    "Span",
+    "Tracer",
     "TrainingLoop",
     "TrainingState",
     "dump_state",
+    "load_report",
     "load_state",
     "non_finite_entries",
 ]

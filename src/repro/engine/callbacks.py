@@ -22,11 +22,18 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
+from repro.engine.observability import NULL_REGISTRY
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.engine.checkpoint import CheckpointManager, TrainingState
     from repro.engine.loop import Phase, TrainingLoop
 
 EpochLogs = dict[str, dict[str, float]]  # phase name -> named losses
+
+
+def _loop_metrics(loop: "TrainingLoop"):
+    """The loop's registry (tests drive callbacks with bare stand-ins)."""
+    return getattr(loop, "metrics", NULL_REGISTRY)
 
 
 class Callback:
@@ -299,7 +306,7 @@ class Checkpointer(Callback):
         # on_epoch_end fires before the loop advances its counter, so
         # stamp the step this checkpoint actually represents
         loop_state["epochs_completed"] = step
-        self.manager.save(
+        path = self.manager.save(
             {
                 "format": self.STATE_FORMAT,
                 "step": step,
@@ -309,6 +316,14 @@ class Checkpointer(Callback):
             step=step,
         )
         self._last_saved_step = step
+        metrics = _loop_metrics(loop)
+        if metrics.enabled:
+            size = path.stat().st_size
+            metrics.counter("checkpoint/saves")
+            metrics.gauge("checkpoint/last_snapshot_bytes", size)
+            metrics.event(
+                "checkpoint_saved", step=step, bytes=size, path=str(path)
+            )
 
     def on_train_begin(self, loop) -> None:
         self._last_saved_step = None
@@ -465,6 +480,19 @@ class NumericalHealthGuard(Callback):
                     self._recent[key] = deque(maxlen=self.window)
                 self._recent[key].append(value)
 
+    def _report_incident(
+        self, loop, epoch: int, action: str, descriptions: list[str]
+    ) -> None:
+        self.incidents.append((epoch, action, descriptions))
+        metrics = _loop_metrics(loop)
+        metrics.counter(f"health/{action}")
+        metrics.event(
+            "health_incident",
+            "; ".join(descriptions),
+            epoch=epoch,
+            action=action,
+        )
+
     def on_epoch_end(self, loop, epoch, logs) -> None:
         problems = self._scan(logs)
         if not problems:
@@ -477,20 +505,20 @@ class NumericalHealthGuard(Callback):
             + "; ".join(descriptions)
         )
         if self.policy == "raise":
-            self.incidents.append((epoch, "raise", descriptions))
+            self._report_incident(loop, epoch, "raise", descriptions)
             raise NumericalHealthError(summary)
         if self.policy == "skip":
-            self.incidents.append((epoch, "skip", descriptions))
+            self._report_incident(loop, epoch, "skip", descriptions)
             self.print_fn(f"[health] {summary} — skipping (policy=skip)")
             return
         # rollback
         if self._consecutive_retries >= self.max_retries:
-            self.incidents.append((epoch, "raise", descriptions))
+            self._report_incident(loop, epoch, "raise", descriptions)
             raise NumericalHealthError(
                 f"{summary} — retry budget ({self.max_retries}) exhausted"
             )
         self._consecutive_retries += 1
-        self.incidents.append((epoch, "rollback", descriptions))
+        self._report_incident(loop, epoch, "rollback", descriptions)
         self.state_provider.load_state_dict(self._snapshot)
         halved = []
         for name in {p for p, _ in problems if p is not None}:

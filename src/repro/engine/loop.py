@@ -16,6 +16,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.callbacks import Callback, EpochLogs, LossHistory, PhaseTimer
+from repro.engine.observability import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.pipeline import BatchSource
@@ -135,12 +141,20 @@ class TrainingLoop:
         callbacks: user hooks; a :class:`LossHistory` and a
             :class:`PhaseTimer` are always attached internally (first in
             the firing order) to populate the :class:`LoopResult`.
+        metrics: a :class:`~repro.engine.observability.MetricsRegistry`
+            the loop publishes into (``phase/<name>/<loss>`` series,
+            ``phase/<name>/seconds`` timings, rollback/stop counters and
+            events).  Defaults to the no-op :data:`NULL_REGISTRY`.
+        tracer: a :class:`~repro.engine.observability.Tracer` receiving
+            run → epoch → phase spans.  Defaults to :data:`NULL_TRACER`.
     """
 
     def __init__(
         self,
         phases: list[Phase],
         callbacks: list[Callback] | tuple[Callback, ...] = (),
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not phases:
             raise ValueError("a training loop needs at least one phase")
@@ -155,6 +169,8 @@ class TrainingLoop:
             self._timer,
             *callbacks,
         ]
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.num_epochs = 0
         self.stop_requested = False
         self.retry_requested = False
@@ -251,30 +267,56 @@ class TrainingLoop:
         for callback in self.callbacks:
             callback.on_train_begin(self)
         epoch = start_epoch
-        while epoch < num_epochs:
-            for callback in self.callbacks:
-                callback.on_epoch_begin(self, epoch)
-            logs: EpochLogs = {}
-            for phase in self.phases:
-                for callback in self.callbacks:
-                    callback.on_phase_begin(self, epoch, phase)
-                losses = phase.run(self, epoch)
-                for callback in self.callbacks:
-                    callback.on_phase_end(self, epoch, phase, losses)
-                logs[phase.name] = losses
-            for callback in self.callbacks:
-                callback.on_epoch_end(self, epoch, logs)
-            if self.retry_requested:
-                self.retry_requested = False
-                for callback in self.callbacks:
-                    callback.on_epoch_rollback(self, epoch)
-                continue
-            epoch += 1
-            self.epochs_completed = epoch
-            if self.stop_requested:
-                break
+        with self.tracer.span(
+            "run", kind="run", start_epoch=start_epoch, num_epochs=num_epochs
+        ):
+            while epoch < num_epochs:
+                with self.tracer.span(
+                    "epoch", kind="epoch", epoch=epoch
+                ) as epoch_span:
+                    for callback in self.callbacks:
+                        callback.on_epoch_begin(self, epoch)
+                    logs: EpochLogs = {}
+                    for phase in self.phases:
+                        for callback in self.callbacks:
+                            callback.on_phase_begin(self, epoch, phase)
+                        with self.tracer.span(
+                            phase.name, kind="phase", epoch=epoch
+                        ) as phase_span:
+                            losses = phase.run(self, epoch)
+                        for callback in self.callbacks:
+                            callback.on_phase_end(self, epoch, phase, losses)
+                        logs[phase.name] = losses
+                        if self.metrics.enabled:
+                            for loss_name, value in losses.items():
+                                self.metrics.observe(
+                                    f"phase/{phase.name}/{loss_name}", value
+                                )
+                            if phase_span is not None:
+                                self.metrics.observe(
+                                    f"phase/{phase.name}/seconds",
+                                    phase_span.duration_s,
+                                )
+                    for callback in self.callbacks:
+                        callback.on_epoch_end(self, epoch, logs)
+                    if self.retry_requested:
+                        if epoch_span is not None:
+                            epoch_span.attributes["rolled_back"] = True
+                if self.retry_requested:
+                    self.retry_requested = False
+                    for callback in self.callbacks:
+                        callback.on_epoch_rollback(self, epoch)
+                    self.metrics.counter("loop/rollbacks")
+                    self.metrics.event("epoch_rollback", epoch=epoch)
+                    continue
+                epoch += 1
+                self.epochs_completed = epoch
+                if self.stop_requested:
+                    self.metrics.event("early_stop", epoch=epoch)
+                    break
         for callback in self.callbacks:
             callback.on_train_end(self)
+        self.metrics.gauge("loop/epochs_completed", self.epochs_completed)
         return LoopResult(
             history={
                 name: list(entries)

@@ -48,6 +48,9 @@ class TransNMethod(EmbeddingMethod):
             (see :meth:`repro.core.TransN.fit`).
         resume: continue from the newest valid checkpoint in
             ``checkpoint_dir`` instead of starting fresh.
+        report: path of a run report to write (observability layer);
+            equivalent to calling :meth:`enable_report` afterwards.
+        trace_memory: include ``tracemalloc`` peaks in the report spans.
     """
 
     name = "TransN"
@@ -58,9 +61,16 @@ class TransNMethod(EmbeddingMethod):
         name: str | None = None,
         checkpoint_dir: str | None = None,
         resume: bool = False,
+        report: str | None = None,
+        trace_memory: bool = False,
     ) -> None:
         config = config or TransNConfig()
-        super().__init__(dim=config.dim, seed=config.seed)
+        super().__init__(
+            dim=config.dim,
+            seed=config.seed,
+            report=report,
+            trace_memory=trace_memory,
+        )
         self.config = config
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
@@ -69,11 +79,20 @@ class TransNMethod(EmbeddingMethod):
 
     def fit(self, graph: HeteroGraph) -> Embeddings:
         model = TransN(graph, self.config)
-        model.fit(
-            callbacks=self.callbacks,
-            checkpoint=self.checkpoint_dir,
-            resume=self.resume,
-        )
+        # hand the model this adapter's registry/tracer so enable_report
+        # observes TransN's own fit (the model writes the report itself,
+        # with model/config/graph metadata richer than the generic one)
+        try:
+            model.fit(
+                callbacks=self.callbacks,
+                checkpoint=self.checkpoint_dir,
+                resume=self.resume,
+                report=self.report_path,
+                metrics=self.metrics if self.metrics.enabled else None,
+                tracer=self.tracer if self.tracer.enabled else None,
+            )
+        finally:
+            self.tracer.close()
         self.last_run_ = model.last_run
         return model.embeddings()
 

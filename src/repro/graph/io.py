@@ -37,9 +37,13 @@ from repro.graph.heterograph import HeteroGraph, NodeId
 
 
 @contextmanager
-def _atomic_writer(path: Path) -> Iterator[TextIO]:
+def atomic_writer(path: str | Path) -> Iterator[TextIO]:
     """Write-to-temp + fsync + rename: the destination either keeps its
-    old content or receives the complete new content, never a prefix."""
+    old content or receives the complete new content, never a prefix.
+
+    Shared by the graph/embedding writers here and other single-file
+    artifacts (e.g. :mod:`repro.engine.observability` run reports)."""
+    path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     try:
         with tmp.open("w") as handle:
@@ -56,7 +60,7 @@ def save_graph(graph: HeteroGraph, path: str | Path) -> None:
     """Atomically write ``graph`` as a typed TSV edge list (see module
     docstring)."""
     path = Path(path)
-    with _atomic_writer(path) as handle:
+    with atomic_writer(path) as handle:
         handle.write("# node\tnode_id\tnode_type\n")
         handle.write("# edge\tu\tv\tedge_type\tweight\n")
         for node in graph.nodes:
@@ -122,7 +126,7 @@ def save_embeddings(
     if not items:
         raise ValueError("cannot save an empty embedding mapping")
     dim = len(items[0][1])
-    with _atomic_writer(path) as handle:
+    with atomic_writer(path) as handle:
         handle.write(f"{len(items)} {dim}\n")
         for node, vector in items:
             vector = np.asarray(vector)

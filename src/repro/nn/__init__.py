@@ -33,6 +33,7 @@ from repro.nn.optim import (
     RowAdam,
     RowOptimizer,
     RowSGD,
+    gradient_norm,
     make_row_optimizer,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "RowOptimizer",
     "RowSGD",
     "RowAdam",
+    "gradient_norm",
     "make_row_optimizer",
 ]

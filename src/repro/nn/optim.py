@@ -24,6 +24,23 @@ import numpy as np
 from repro.autograd import Tensor
 
 
+def gradient_norm(grads: Iterable[np.ndarray | None]) -> float:
+    """The global L2 norm over a collection of gradient arrays.
+
+    ``None`` entries (parameters without a gradient yet) are skipped, so
+    this can be fed ``param.grad`` straight off an optimizer's parameter
+    list.  Used by the observability layer to report per-phase gradient
+    magnitudes without each trainer re-deriving the reduction.
+    """
+    total = 0.0
+    for grad in grads:
+        if grad is None:
+            continue
+        array = np.asarray(grad, dtype=np.float64)
+        total += float(np.dot(array.ravel(), array.ravel()))
+    return float(np.sqrt(total))
+
+
 class Optimizer:
     """Base class holding a parameter list and the zero-grad helper."""
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.optim import make_row_optimizer
+from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
+from repro.nn.optim import gradient_norm, make_row_optimizer
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -72,6 +73,11 @@ class SkipGramTrainer:
         self.context_optimizer = make_row_optimizer(
             optimizer, self.context, lr=optimizer_lr
         )
+        # observability: no-op unless a caller binds a live registry (see
+        # SingleViewTrainer.bind_metrics); metric_prefix namespaces the
+        # emitted keys per view
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.metric_prefix = ""
 
     def train_batch(
         self,
@@ -125,6 +131,17 @@ class SkipGramTrainer:
 
         eps = 1e-12
         loss = -np.log(pos_sig + eps) - np.log(1.0 - neg_sig + eps).sum(axis=1)
+        if self.metrics.enabled:
+            prefix = self.metric_prefix
+            self.metrics.observe(
+                f"{prefix}grad_norm/input", gradient_norm([grad_center])
+            )
+            drawn = negatives.size
+            self.metrics.counter(f"{prefix}negatives/drawn", drawn)
+            self.metrics.observe(
+                f"{prefix}negatives/unique_frac",
+                np.unique(negatives).size / drawn if drawn else 0.0,
+            )
         return float(loss.mean())
 
     # -- checkpoint protocol -------------------------------------------

@@ -1,0 +1,381 @@
+"""Tests for the observability layer: metrics, tracing, run reports.
+
+Covers the registry's aggregate/bounding semantics, the Null no-ops that
+make the layer zero-cost when disabled, span-tree nesting (with and
+without ``tracemalloc`` peaks), the versioned report document and its
+validation errors, the :class:`TrainingLoop` integration, and the full
+``TransN.fit(report=...)`` acceptance path on the app-store fixture.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TransN, TransNConfig
+from repro.datasets import make_app_daily
+from repro.engine import CallablePhase, TrainingLoop
+from repro.engine.observability import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    RunReport,
+    Tracer,
+    load_report,
+)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.counter("batches")
+        registry.counter("batches", 4)
+        registry.counter("other", 2.5)
+        assert registry.counters == {"batches": 5.0, "other": 2.5}
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("bytes", 100)
+        registry.gauge("bytes", 42)
+        assert registry.gauges == {"bytes": 42.0}
+
+    def test_series_aggregates_are_exact(self):
+        registry = MetricsRegistry()
+        values = [3.0, -1.0, 2.0, 2.0]
+        for v in values:
+            registry.observe("loss", v)
+        entry = registry.snapshot()["series"]["loss"]
+        assert entry["count"] == 4
+        assert entry["total"] == pytest.approx(sum(values))
+        assert entry["min"] == -1.0
+        assert entry["max"] == 3.0
+        assert entry["last"] == 2.0
+        assert entry["mean"] == pytest.approx(sum(values) / 4)
+        assert entry["tail"] == values
+        assert entry["tail_start"] == 0
+
+    def test_series_tail_is_bounded_but_aggregates_cover_all(self):
+        registry = MetricsRegistry(max_series_points=3)
+        for v in range(10):
+            registry.observe("loss", float(v))
+        entry = registry.snapshot()["series"]["loss"]
+        assert entry["tail"] == [7.0, 8.0, 9.0]
+        assert entry["tail_start"] == 7
+        assert entry["count"] == 10
+        assert entry["total"] == pytest.approx(45.0)
+        assert entry["min"] == 0.0 and entry["max"] == 9.0
+
+    def test_series_lookup_helpers(self):
+        registry = MetricsRegistry()
+        registry.observe("b", 1.0)
+        registry.observe("a", 2.0)
+        assert registry.series_names() == ["a", "b"]
+        assert registry.series_values("b") == [1.0]
+        assert registry.series_values("missing") == []
+
+    def test_timer_aggregates(self):
+        ticks = iter([0.0, 1.0, 10.0, 13.0])
+        registry = MetricsRegistry()
+        for _ in range(2):
+            with registry.timer("phase", clock=lambda: next(ticks)):
+                pass
+        entry = registry.snapshot()["timers"]["phase"]
+        assert entry["count"] == 2
+        assert entry["total_s"] == pytest.approx(4.0)
+        assert entry["min_s"] == pytest.approx(1.0)
+        assert entry["max_s"] == pytest.approx(3.0)
+        assert entry["mean_s"] == pytest.approx(2.0)
+
+    def test_events_bounded_with_drop_count(self):
+        registry = MetricsRegistry(max_events=2)
+        registry.event("a", "first", epoch=0)
+        registry.event("b")
+        registry.event("c")
+        registry.event("d")
+        snapshot = registry.snapshot()
+        assert [e["kind"] for e in snapshot["events"]] == ["a", "b"]
+        assert snapshot["events"][0]["data"] == {"epoch": 0}
+        assert [e["seq"] for e in snapshot["events"]] == [0, 1]
+        assert snapshot["dropped_events"] == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_series_points"):
+            MetricsRegistry(max_series_points=0)
+        with pytest.raises(ValueError, match="max_events"):
+            MetricsRegistry(max_events=0)
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g", 1)
+        registry.observe("s", 2.0)
+        with registry.timer("t"):
+            pass
+        registry.event("e", "msg", detail="x")
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestNullObjects:
+    def test_null_registry_records_nothing(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        registry.counter("c", 5)
+        registry.gauge("g", 1)
+        registry.observe("s", 2.0)
+        registry.event("e")
+        with registry.timer("t"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["series"] == {}
+        assert snapshot["timers"] == {}
+        assert snapshot["events"] == []
+
+    def test_null_singletons_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_null_tracer_yields_none(self):
+        tracer = NullTracer()
+        with tracer.span("run", kind="run") as span:
+            assert span is None
+        assert tracer.to_dict()["spans"] == []
+        tracer.close()  # no-op, must not raise
+
+
+class TestTracer:
+    def test_span_tree_nests(self):
+        ticks = iter(np.arange(0.0, 100.0, 1.0))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("run", kind="run"):
+            with tracer.span("epoch", kind="epoch", epoch=0):
+                with tracer.span("single_view", kind="phase"):
+                    pass
+            with tracer.span("epoch", kind="epoch", epoch=1):
+                pass
+        tree = tracer.to_dict()
+        assert len(tree["spans"]) == 1
+        run = tree["spans"][0]
+        assert run["name"] == "run" and run["kind"] == "run"
+        epochs = run["children"]
+        assert [e["attributes"]["epoch"] for e in epochs] == [0, 1]
+        assert epochs[0]["children"][0]["name"] == "single_view"
+        # the injected clock advances one tick per call
+        assert run["duration_s"] > epochs[0]["duration_s"] > 0
+
+    def test_max_spans_cap(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(4):
+            with tracer.span("s") as span:
+                pass
+        assert span is None
+        assert len(tracer.roots) == 2
+        assert tracer.to_dict()["dropped_spans"] == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_memory_peaks_cover_children(self):
+        tracer = Tracer(trace_memory=True)
+        try:
+            with tracer.span("parent") as parent:
+                with tracer.span("child") as child:
+                    block = np.zeros(200_000)  # ~1.6 MB inside the child
+                del block
+        finally:
+            tracer.close()
+        assert child.memory_peak_bytes >= 1_000_000
+        assert parent.memory_peak_bytes >= child.memory_peak_bytes
+
+    def test_close_stops_tracemalloc_only_if_started(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        tracer = Tracer(trace_memory=True)
+        assert tracemalloc.is_tracing()
+        tracer.close()
+        assert not tracemalloc.is_tracing()
+        tracer.close()  # idempotent
+
+
+class TestRunReport:
+    def test_write_and_load_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.observe("loss", 0.5)
+        registry.counter("batches", 3)
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        path = tmp_path / "report.json"
+        RunReport(registry, tracer, metadata={"model": "test"}).write(path)
+        document = load_report(path)
+        assert document["format"] == REPORT_FORMAT
+        assert document["version"] == REPORT_VERSION
+        assert document["metadata"] == {"model": "test"}
+        assert document["metrics"]["counters"]["batches"] == 3.0
+        assert document["metrics"]["series"]["loss"]["last"] == 0.5
+        assert document["trace"]["spans"][0]["name"] == "run"
+
+    def test_report_without_tracer_has_null_trace(self, tmp_path):
+        path = tmp_path / "r.json"
+        RunReport(MetricsRegistry()).write(path)
+        assert load_report(path)["trace"] is None
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(path)
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"benchmark": "walk_engine"}))
+        with pytest.raises(ValueError, match="format marker"):
+            load_report(path)
+
+    def test_load_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"format": REPORT_FORMAT, "version": REPORT_VERSION + 1})
+        )
+        with pytest.raises(ValueError, match="unsupported report version"):
+            load_report(path)
+
+
+class TestLoopIntegration:
+    def _phases(self):
+        return [
+            CallablePhase("alpha", lambda loop, epoch: {"loss": 1.0 / (epoch + 1)}),
+            CallablePhase("beta", lambda loop, epoch: 0.5),
+        ]
+
+    def test_loop_records_phase_series_and_spans(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        loop = TrainingLoop(self._phases(), metrics=registry, tracer=tracer)
+        loop.run(3)
+        assert registry.series_values("phase/alpha/loss") == [1.0, 0.5, pytest.approx(1 / 3)]
+        assert registry.series_values("phase/beta/loss") == [0.5] * 3
+        assert len(registry.series_values("phase/alpha/seconds")) == 3
+        assert registry.gauges["loop/epochs_completed"] == 3.0
+        run = tracer.to_dict()["spans"][0]
+        assert run["kind"] == "run"
+        assert [c["kind"] for c in run["children"]] == ["epoch"] * 3
+        assert [p["name"] for p in run["children"][0]["children"]] == [
+            "alpha",
+            "beta",
+        ]
+
+    def test_loop_without_observability_unchanged(self):
+        loop = TrainingLoop(self._phases())
+        run = loop.run(2)
+        assert loop.metrics is NULL_REGISTRY
+        assert loop.tracer is NULL_TRACER
+        assert run.epochs_run == 2
+
+    def test_rollback_counted_and_span_flagged(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        rolled = []
+
+        def flaky(loop, epoch):
+            if epoch == 1 and not rolled:
+                rolled.append(epoch)
+                loop.request_retry()
+            return 0.0
+
+        loop = TrainingLoop(
+            [CallablePhase("alpha", flaky)], metrics=registry, tracer=tracer
+        )
+        loop.run(3)
+        assert registry.counters["loop/rollbacks"] == 1.0
+        kinds = [e["kind"] for e in registry.events]
+        assert "epoch_rollback" in kinds
+        epochs = tracer.to_dict()["spans"][0]["children"]
+        flags = [e.get("attributes", {}).get("rolled_back") for e in epochs]
+        assert flags.count(True) == 1
+
+
+class TestTransNReport:
+    """The acceptance path: fit(report=...) on the app-store fixture."""
+
+    @pytest.fixture(scope="class")
+    def report_document(self, tmp_path_factory):
+        graph, _ = make_app_daily(
+            seed=13, num_applets=40, num_users=20, num_keywords=15
+        )
+        config = TransNConfig(dim=8, num_iterations=2, seed=0)
+        path = tmp_path_factory.mktemp("obs") / "run.json"
+        model = TransN(graph, config)
+        model.fit(report=path)
+        return model, load_report(path)
+
+    def test_document_is_versioned_and_described(self, report_document):
+        model, document = report_document
+        assert document["format"] == REPORT_FORMAT
+        assert document["version"] == REPORT_VERSION
+        meta = document["metadata"]
+        assert meta["model"] == "transn"
+        assert meta["config"]["num_iterations"] == 2
+        assert meta["graph"]["num_views"] == len(model.views)
+        assert meta["epochs_run"] == 2
+
+    def test_per_epoch_spans_present(self, report_document):
+        _, document = report_document
+        run = document["trace"]["spans"][0]
+        assert run["kind"] == "run"
+        epochs = [c for c in run["children"] if c["kind"] == "epoch"]
+        assert len(epochs) == 2
+        for epoch in epochs:
+            phase_names = {p["name"] for p in epoch["children"]}
+            assert "single_view" in phase_names
+            assert "cross_view" in phase_names
+
+    def test_per_view_single_view_losses(self, report_document):
+        model, document = report_document
+        series = document["metrics"]["series"]
+        for trainer in model.single_trainers:
+            name = f"single_view/{trainer.view.edge_type}/loss"
+            assert series[name]["count"] == 2
+            assert math.isfinite(series[name]["mean"])
+
+    def test_per_direction_cross_view_losses(self, report_document):
+        model, document = report_document
+        series = document["metrics"]["series"]
+        assert model.cross_trainers, "fixture must produce view pairs"
+        for trainer in model.cross_trainers:
+            pair = trainer.pair
+            ti = pair.view_i.edge_type
+            tj = pair.view_j.edge_type
+            for direction in (f"{ti}->{tj}", f"{tj}->{ti}"):
+                base = f"cross_view/{ti}+{tj}/{direction}"
+                assert series[f"{base}/translation"]["count"] >= 1
+                assert series[f"{base}/reconstruction"]["count"] >= 1
+
+    def test_negative_sampling_and_grad_norm_stats(self, report_document):
+        model, document = report_document
+        metrics = document["metrics"]
+        trainer = model.single_trainers[0]
+        prefix = f"single_view/{trainer.view.edge_type}"
+        assert metrics["counters"][f"{prefix}/negatives/drawn"] > 0
+        unique = metrics["series"][f"{prefix}/negatives/unique_frac"]
+        assert 0.0 < unique["mean"] <= 1.0
+        assert metrics["series"][f"{prefix}/grad_norm/input"]["min"] >= 0.0
+
+    def test_observability_does_not_change_training(self):
+        graph, _ = make_app_daily(
+            seed=13, num_applets=30, num_users=15, num_keywords=10
+        )
+        config = TransNConfig(dim=8, num_iterations=2, seed=3)
+        plain = TransN(graph, config)
+        plain.fit()
+        observed = TransN(graph, config)
+        observed.fit(metrics=MetricsRegistry(), tracer=Tracer())
+        for node, vector in plain.embeddings().items():
+            np.testing.assert_array_equal(vector, observed.embeddings()[node])

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import _load_labels, build_parser, main
+from repro.engine.observability import load_report
 from repro.graph import load_embeddings, load_graph, save_graph
 from repro.datasets import two_view_toy
 
@@ -117,6 +118,126 @@ class TestTrainAndEval:
         ]) == 0
         out = capsys.readouterr().out
         assert "AUC" in out
+
+
+class TestCheckpointSurface:
+    """The fault-tolerance flags of the train subcommand, end to end."""
+
+    def _train(self, graph_path, out, *extra):
+        return main([
+            "train", str(graph_path),
+            "--out", str(out),
+            "--method", "transn",
+            "--dim", "8",
+            *extra,
+        ])
+
+    def test_resume_reproduces_straight_run(self, toy_files, tmp_path):
+        """2 iters + checkpoint, resume to 4 == straight 4-iter run."""
+        graph_path, _ = toy_files
+        ckpt_dir = tmp_path / "ckpts"
+        straight = tmp_path / "straight.txt"
+        partial = tmp_path / "partial.txt"
+        resumed = tmp_path / "resumed.txt"
+        assert self._train(graph_path, straight, "--iterations", "4") == 0
+        assert self._train(
+            graph_path, partial,
+            "--iterations", "2",
+            "--checkpoint-dir", str(ckpt_dir),
+        ) == 0
+        assert any(ckpt_dir.iterdir()), "snapshots must exist"
+        assert self._train(
+            graph_path, resumed,
+            "--iterations", "4",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--resume",
+        ) == 0
+        assert resumed.read_bytes() == straight.read_bytes()
+        assert partial.read_bytes() != straight.read_bytes()
+
+    def test_health_policy_round_trips(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        out = tmp_path / "emb.txt"
+        assert self._train(
+            graph_path, out,
+            "--iterations", "1",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+            "--health-policy", "rollback",
+        ) == 0
+        assert load_embeddings(out)
+
+    def test_resume_requires_checkpoint_dir(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit, match="--resume needs --checkpoint-dir"):
+            self._train(graph_path, tmp_path / "e.txt", "--resume")
+
+    def test_baselines_reject_checkpoint_dir(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit, match="only supported for"):
+            main([
+                "train", str(graph_path),
+                "--out", str(tmp_path / "e.txt"),
+                "--method", "line",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+            ])
+
+    def test_baselines_reject_rollback_policy(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit):
+            main([
+                "train", str(graph_path),
+                "--out", str(tmp_path / "e.txt"),
+                "--method", "line",
+                "--dim", "8",
+                "--health-policy", "rollback",
+            ])
+
+
+class TestReportSurface:
+    """--report/--trace on the train subcommand."""
+
+    def test_transn_report_written_and_valid(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        report = tmp_path / "run.json"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(tmp_path / "e.txt"),
+            "--method", "transn",
+            "--dim", "8",
+            "--iterations", "1",
+            "--report", str(report),
+        ]) == 0
+        document = load_report(report)
+        assert document["metadata"]["model"] == "transn"
+        assert document["trace"]["spans"][0]["kind"] == "run"
+        assert any(
+            name.startswith("phase/") for name in document["metrics"]["series"]
+        )
+
+    def test_baseline_report_with_trace(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        report = tmp_path / "run.json"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(tmp_path / "e.txt"),
+            "--method", "deepwalk",
+            "--dim", "8",
+            "--report", str(report),
+            "--trace",
+        ]) == 0
+        document = load_report(report)
+        assert document["metadata"]["model"] == "deepwalk"
+        assert document["trace"]["trace_memory"] is True
+        assert document["trace"]["spans"][0]["memory_peak_bytes"] > 0
+
+    def test_trace_requires_report(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit, match="--trace needs --report"):
+            main([
+                "train", str(graph_path),
+                "--out", str(tmp_path / "e.txt"),
+                "--trace",
+            ])
 
 
 class TestLabelsParsing:

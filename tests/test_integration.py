@@ -70,6 +70,7 @@ class TestTransNOnToy:
 class TestCrossViewContribution:
     """Table V's strongest claim: no-cross-view is the worst variant."""
 
+    @pytest.mark.slow
     def test_cross_view_beats_no_cross_on_appstore(self):
         # At this tiny scale the margin is realization-sensitive: these
         # seeds give cross-view a comfortable cushion (checked across
@@ -97,6 +98,7 @@ class TestCorrelatedWalkContribution:
     """The Figure 4 mechanism: on taste-weighted graphs the biased
     correlated walks beat simple walks."""
 
+    @pytest.mark.slow
     def test_weighted_walks_beat_simple_on_appstore(self):
         cfg = AppStoreConfig(
             num_applets=150, num_users=60, num_keywords=45, seed=5

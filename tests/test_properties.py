@@ -6,11 +6,19 @@ serialization must round-trip it, and TransN must train on it without
 blowing up.
 """
 
+import math
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import TransN, TransNConfig
+from repro.engine.observability import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    load_report,
+)
 from repro.graph import (
     HeteroGraph,
     load_graph,
@@ -122,6 +130,113 @@ class TestWalkerProperties:
                 if dist:
                     assert abs(sum(dist.values()) - 1.0) < 1e-9
                     assert all(p >= 0 for p in dist.values())
+
+
+_FINITE = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e100, max_value=1e100
+)
+_NAMES = st.text(
+    alphabet="abc/_", min_size=1, max_size=8
+)
+
+
+@st.composite
+def metric_streams(draw):
+    """name -> list of finite observations, over a tiny name alphabet."""
+    return draw(
+        st.dictionaries(
+            _NAMES, st.lists(_FINITE, min_size=1, max_size=20), max_size=5
+        )
+    )
+
+
+@st.composite
+def span_trees(draw):
+    """A random tree shape: each node is a (name, children) pair."""
+
+    def node(children):
+        return st.tuples(st.sampled_from(["run", "epoch", "phase"]), children)
+
+    return draw(
+        st.recursive(
+            node(st.just([])),
+            lambda inner: node(st.lists(inner, max_size=3)),
+            max_leaves=10,
+        )
+    )
+
+
+class TestObservabilityProperties:
+    @given(metric_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_report_round_trip_is_lossless(self, streams):
+        """Finite metric values survive write -> load bit-exactly."""
+        import tempfile
+        from pathlib import Path
+
+        registry = MetricsRegistry()
+        for name, values in streams.items():
+            for value in values:
+                registry.observe(name, value)
+            registry.counter(name, len(values))
+            registry.gauge(name, values[-1])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.json"
+            RunReport(registry, metadata={"model": "prop"}).write(path)
+            document = load_report(path)
+        assert document["metrics"] == registry.snapshot()
+        for name, values in streams.items():
+            entry = document["metrics"]["series"][name]
+            assert entry["tail"] == values
+            assert entry["count"] == len(values)
+            assert entry["last"] == values[-1]
+
+    @given(metric_streams(), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_series_memory_is_bounded(self, streams, max_points):
+        """Tails never exceed the cap; aggregates stay exact regardless."""
+        registry = MetricsRegistry(max_series_points=max_points)
+        for name, values in streams.items():
+            for value in values:
+                registry.observe(name, value)
+        for name, values in streams.items():
+            entry = registry.snapshot()["series"][name]
+            assert len(entry["tail"]) <= max_points
+            assert entry["tail"] == values[-max_points:]
+            assert entry["tail_start"] == max(0, len(values) - max_points)
+            assert entry["count"] == len(values)
+            assert entry["min"] == min(values)
+            assert entry["max"] == max(values)
+            assert math.isclose(
+                entry["total"], math.fsum(values), abs_tol=1e-9
+            ) or entry["total"] == sum(values)
+
+    @given(span_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_span_trees_nest_correctly(self, shape):
+        """The recorded tree mirrors the with-statement nesting exactly."""
+        tracer = Tracer()
+
+        def open_spans(node):
+            name, children = node
+            with tracer.span(name):
+                for child in children:
+                    open_spans(child)
+
+        open_spans(shape)
+
+        def check(entry, node):
+            name, children = node
+            assert entry["name"] == name
+            assert entry["duration_s"] >= 0.0
+            recorded = entry.get("children", [])
+            assert len(recorded) == len(children)
+            for sub_entry, sub_node in zip(recorded, children):
+                check(sub_entry, sub_node)
+
+        tree = tracer.to_dict()
+        assert len(tree["spans"]) == 1
+        check(tree["spans"][0], shape)
 
 
 class TestTransNProperties:

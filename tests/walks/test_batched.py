@@ -10,6 +10,7 @@ branch, the Delta = 0 fallback, and stuck walks.
 
 import numpy as np
 import pytest
+from scipy import stats
 
 from repro.graph import HeteroGraph, separate_views
 from repro.walks import (
@@ -182,6 +183,57 @@ class TestBatchedCorrelatedPi2:
         for row in matrix[:40]:
             for a, b in zip(row[:-1], row[1:]):
                 assert graph.has_edge(graph.node_at(int(a)), graph.node_at(int(b)))
+
+    def test_second_step_chi_square_bound(self, rng):
+        """Goodness-of-fit bound on the Eq. 7 correlated-step branch.
+
+        The per-node tolerance checks above can miss a systematic bias
+        spread across the support; the chi-square statistic aggregates
+        the whole distribution, so a subtly wrong pi_2 normalization or
+        Delta sign fails here even when every marginal stays within
+        ``_TOL``.  The rng fixture is seeded, so the draw — and the
+        statistic — is deterministic; the 99.9% quantile guards against
+        regressions, not sampling noise.
+        """
+        view = self._forced_first_step_graph()
+        scalar = BiasedCorrelatedWalker(view, rng=rng)
+        batched = BatchedBiasedCorrelatedWalker(view, rng=rng)
+        graph = view.graph
+        starts = np.full(_TRIALS, graph.index_of("u"), dtype=np.int64)
+        matrix, _ = batched.walk_batch(starts, 3)
+        expected = scalar.step_distribution("m", previous_weight=2.0)
+        observed = np.array(
+            [
+                (matrix[:, 2] == graph.index_of(node)).sum()
+                for node in expected
+            ],
+            dtype=float,
+        )
+        assert observed.sum() == _TRIALS  # the support is exactly {v1, v2}
+        predicted = np.array(list(expected.values())) * _TRIALS
+        statistic = ((observed - predicted) ** 2 / predicted).sum()
+        bound = stats.chi2.isf(1e-3, df=len(expected) - 1)
+        assert statistic < bound
+
+    def test_first_step_chi_square_bound(self, rating_view, rng):
+        """Same bound on the pure pi_1 branch over the Figure 4 view."""
+        scalar = BiasedCorrelatedWalker(rating_view, rng=rng)
+        batched = BatchedBiasedCorrelatedWalker(rating_view, rng=rng)
+        graph = rating_view.graph
+        starts = np.full(_TRIALS, graph.index_of("R1"), dtype=np.int64)
+        matrix, _ = batched.walk_batch(starts, 2)
+        expected = scalar.step_distribution("R1")
+        observed = np.array(
+            [
+                (matrix[:, 1] == graph.index_of(node)).sum()
+                for node in expected
+            ],
+            dtype=float,
+        )
+        assert observed.sum() == _TRIALS
+        predicted = np.array(list(expected.values())) * _TRIALS
+        statistic = ((observed - predicted) ** 2 / predicted).sum()
+        assert statistic < stats.chi2.isf(1e-3, df=len(expected) - 1)
 
     def test_stuck_walk_keeps_prefix(self, rng):
         g = HeteroGraph()
