@@ -1,0 +1,190 @@
+"""Benchmark: every pluggable walk policy through the full TransN stack.
+
+Runs each registered :data:`repro.walks.POLICY_NAMES` policy through the
+model (``TransNConfig(walk_policy=...)``) on two stress-shaped fixture
+graphs — a degree-skewed two-view graph (power-law homo-view) and a
+type-imbalanced three-view graph (one view hoards the edge budget) —
+then scores the embeddings on the classification / link-prediction /
+clustering suite.  A final guard block re-runs the paper's biased
+correlated walk on the standard ``two_view_toy`` suite, so a policy
+refactor that silently regresses Equations 6-7 shows up here as well as
+in the unit goldens.
+
+Results land in ``BENCH_policies.json`` at the repository root.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_walk_policies.py            # full
+    PYTHONPATH=src python benchmarks/bench_walk_policies.py --fast     # CI smoke
+
+Fast mode shrinks graphs and iteration counts to smoke-test the wiring;
+its scores are not meaningful and its output should never be checked in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import TransN, TransNConfig  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    degree_skewed_graph,
+    two_view_toy,
+    type_imbalanced_graph,
+)
+from repro.engine.observability import (  # noqa: E402
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+)
+from repro.eval import (  # noqa: E402
+    run_clustering,
+    run_link_prediction,
+    run_node_classification,
+)
+from repro.eval.methods import TransNMethod  # noqa: E402
+from repro.walks import POLICY_NAMES  # noqa: E402
+
+
+def _config(policy: str, fast: bool, seed: int) -> TransNConfig:
+    return TransNConfig(
+        dim=16 if fast else 32,
+        seed=seed,
+        num_iterations=2 if fast else 6,
+        walk_policy=policy,
+    )
+
+
+def _fit_embeddings(graph, policy: str, fast: bool, seed: int):
+    model = TransN(graph, _config(policy, fast, seed))
+    model.fit()
+    return model.embeddings()
+
+
+def evaluate_policy(
+    graph, labels, policy: str, fast: bool, seed: int
+) -> dict:
+    """Classification + clustering + link prediction for one policy."""
+    started = time.perf_counter()
+    embeddings = _fit_embeddings(graph, policy, fast, seed)
+    fit_s = time.perf_counter() - started
+    classification = run_node_classification(
+        embeddings, labels, repeats=3 if fast else 10, seed=seed
+    )
+    clustering = run_clustering(embeddings, labels, seed=seed)
+    link = run_link_prediction(
+        lambda: TransNMethod(_config(policy, fast, seed)),
+        graph,
+        removal_fraction=0.3,
+        seed=seed,
+    )
+    return {
+        "policy": policy,
+        "fit_seconds": fit_s,
+        "classification": {
+            "macro_f1": classification.macro_f1,
+            "micro_f1": classification.micro_f1,
+        },
+        "clustering": {"nmi": clustering.nmi},
+        "link_prediction": {"auc": link.auc},
+    }
+
+
+def standard_suite_guard(fast: bool, seed: int) -> dict:
+    """The paper's walk on the standard toy suite (regression anchor)."""
+    graph, labels = two_view_toy(num_per_side=12)
+    embeddings = _fit_embeddings(graph, "biased", fast, seed)
+    classification = run_node_classification(
+        embeddings, labels, repeats=3 if fast else 10, seed=seed
+    )
+    return {
+        "graph": "two_view_toy",
+        "policy": "biased",
+        "macro_f1": classification.macro_f1,
+        "micro_f1": classification.micro_f1,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes for CI; scores not meaningful",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_policies.json",
+        help="output JSON path (default: BENCH_policies.json at repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    num_items = 16 if args.fast else 48
+    graphs = {
+        "degree_skewed": degree_skewed_graph(
+            num_items=num_items, exponent=2.5, seed=args.seed
+        ),
+        "type_imbalanced": type_imbalanced_graph(
+            num_items=num_items, shares=(0.8, 0.15, 0.05), seed=args.seed
+        ),
+    }
+
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    results = []
+    with tracer.span("bench_walk_policies", kind="run"):
+        for graph_name, (graph, labels) in graphs.items():
+            print(f"=== {graph_name}: {graph} ===", flush=True)
+            entry = {"graph": graph_name, "nodes": graph.num_nodes,
+                     "edges": graph.num_edges, "policies": []}
+            for policy in POLICY_NAMES:
+                with tracer.span(
+                    f"{graph_name}/{policy}", kind="custom"
+                ), metrics.timer(f"policy/{graph_name}/{policy}"):
+                    scores = evaluate_policy(
+                        graph, labels, policy, args.fast, args.seed
+                    )
+                metrics.observe(
+                    f"macro_f1/{graph_name}",
+                    scores["classification"]["macro_f1"],
+                )
+                print(
+                    f"  {policy:18s} macro-F1 "
+                    f"{scores['classification']['macro_f1']:.3f}  NMI "
+                    f"{scores['clustering']['nmi']:.3f}  AUC "
+                    f"{scores['link_prediction']['auc']:.3f}  "
+                    f"({scores['fit_seconds']:.1f}s)"
+                )
+                entry["policies"].append(scores)
+            results.append(entry)
+        with tracer.span("standard_suite_guard", kind="custom"):
+            guard = standard_suite_guard(args.fast, args.seed)
+        print(
+            f"standard suite (two_view_toy, biased): "
+            f"macro-F1 {guard['macro_f1']:.3f}"
+        )
+
+    payload = {
+        "benchmark": "walk_policies",
+        "fast_mode": args.fast,
+        "policies": list(POLICY_NAMES),
+        "results": results,
+        "standard_suite": guard,
+        "observability": RunReport(
+            metrics, tracer, metadata={"benchmark": "walk_policies"}
+        ).to_dict(),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,7 @@ from pathlib import Path
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
-from repro.walks import BatchedUniformWalker, build_corpus
+from repro.walks import UniformPolicy
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
@@ -56,17 +56,12 @@ class DeepWalk(EmbeddingMethod):
         rng = self._rng()
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
-        walker = BatchedUniformWalker(graph, rng=rng)
-        pipeline = CorpusPipeline(
-            sample_corpus=lambda: build_corpus(
-                graph,
-                walker,
-                length=self.walk_length,
-                walks_per_node_override=self.walks_per_node,
-                rng=rng,
-            ),
-            num_nodes=graph.num_nodes,
+        pipeline = CorpusPipeline.for_policy(
+            graph,
+            UniformPolicy(),
+            length=self.walk_length,
             window=self.window,
+            walks_per_node=self.walks_per_node,
             num_negatives=self.num_negatives,
             batch_size=self.batch_size,
             rng=rng,

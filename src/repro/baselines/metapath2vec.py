@@ -10,17 +10,24 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.engine import CorpusPipeline, SkipGramPhase
-from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
-from repro.walks import MetapathWalker
+from repro.walks import LockstepWalker, MetapathPolicy, build_corpus
 from repro.walks.corpus import WalkCorpus
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
 
 class Metapath2Vec(EmbeddingMethod):
-    """Metapath-constrained walks fed to SGNS."""
+    """Metapath-constrained walks fed to SGNS.
+
+    Walks run on the lockstep engine via
+    :class:`repro.walks.MetapathPolicy`; the policy's start restriction
+    limits walk starts to nodes of the metapath's first type.
+    """
 
     name = "Metapath2Vec"
 
@@ -55,23 +62,29 @@ class Metapath2Vec(EmbeddingMethod):
         rng = self._rng()
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
-        walker = MetapathWalker(graph, self.metapath, rng=rng)
-        starts = walker.start_nodes()
-        if not starts:
+        walker = LockstepWalker(graph, MetapathPolicy(self.metapath), rng=rng)
+        starts = walker.policy.start_indices()
+        if starts is None or starts.size == 0:
             raise ValueError(
                 f"no nodes of type {self.metapath[0]!r} to start walks from"
             )
-        visited: set[NodeId] = set()
+        visited = np.zeros(graph.num_nodes, dtype=bool)
 
         def sample_corpus() -> WalkCorpus:
-            walks = []
-            for node in starts:
-                for _ in range(self.walks_per_node):
-                    walk = walker.walk(node, self.walk_length)
-                    if len(walk) >= 2:
-                        walks.append(walk)
-                        visited.update(walk)
-            return WalkCorpus.from_paths(walks, self.walk_length, graph)
+            corpus = build_corpus(
+                graph,
+                walker,
+                length=self.walk_length,
+                walks_per_node_override=self.walks_per_node,
+                rng=rng,
+            )
+            # walks that never left their start node carry no pairs and
+            # do not count a node as embedded
+            keep = corpus.lengths >= 2
+            matrix, lengths = corpus.matrix[keep], corpus.lengths[keep]
+            for row, n in zip(matrix, lengths):
+                visited[row[: int(n)]] = True
+            return WalkCorpus(matrix, lengths, self.walk_length, graph)
 
         pipeline = CorpusPipeline(
             sample_corpus=sample_corpus,
@@ -86,7 +99,5 @@ class Metapath2Vec(EmbeddingMethod):
             self.epochs,
         )
         # zero out never-visited nodes: the metapath cannot embed them
-        for node in graph.nodes:
-            if node not in visited:
-                matrix[graph.index_of(node)] = 0.0
+        matrix[~visited] = 0.0
         return self._as_dict(graph, matrix)

@@ -25,7 +25,7 @@ from repro.engine import CallablePhase, CorpusPipeline, Phase, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View, separate_views
 from repro.skipgram import SkipGramTrainer
-from repro.walks import BatchedUniformWalker, build_corpus
+from repro.walks import UniformPolicy
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
@@ -65,17 +65,12 @@ class MVE(EmbeddingMethod):
     def _view_pipeline(
         self, view: View, rng: np.random.Generator
     ) -> CorpusPipeline:
-        walker = BatchedUniformWalker(view, rng=rng)
-        return CorpusPipeline(
-            sample_corpus=lambda: build_corpus(
-                view,
-                walker,
-                length=self.walk_length,
-                walks_per_node_override=self.walks_per_node,
-                rng=rng,
-            ),
-            num_nodes=view.num_nodes,
+        return CorpusPipeline.for_policy(
+            view,
+            UniformPolicy(),
+            length=self.walk_length,
             window=self.window,
+            walks_per_node=self.walks_per_node,
             num_negatives=self.num_negatives,
             batch_size=self.batch_size,
             rng=rng,

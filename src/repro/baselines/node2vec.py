@@ -7,13 +7,18 @@ from pathlib import Path
 from repro.engine import CorpusPipeline, SkipGramPhase
 from repro.graph.heterograph import HeteroGraph
 from repro.skipgram import SkipGramTrainer
-from repro.walks import Node2VecWalker, build_corpus
+from repro.walks import Node2VecPolicy
 
 from repro.baselines.base import EmbeddingMethod, Embeddings
 
 
 class Node2Vec(EmbeddingMethod):
-    """Second-order biased walks (return p, in-out q) fed to SGNS."""
+    """Second-order biased walks (return p, in-out q) fed to SGNS.
+
+    Walks run on the lockstep engine via
+    :class:`repro.walks.Node2VecPolicy` — the whole corpus advances per
+    vectorized step instead of one scalar alias draw per node.
+    """
 
     name = "Node2Vec"
 
@@ -50,17 +55,12 @@ class Node2Vec(EmbeddingMethod):
         rng = self._rng()
         matrix = self._init_matrix(graph.num_nodes, rng)
         trainer = SkipGramTrainer(matrix, rng=rng)
-        walker = Node2VecWalker(graph, p=self.p, q=self.q, rng=rng)
-        pipeline = CorpusPipeline(
-            sample_corpus=lambda: build_corpus(
-                graph,
-                walker,
-                length=self.walk_length,
-                walks_per_node_override=self.walks_per_node,
-                rng=rng,
-            ),
-            num_nodes=graph.num_nodes,
+        pipeline = CorpusPipeline.for_policy(
+            graph,
+            Node2VecPolicy(p=self.p, q=self.q),
+            length=self.walk_length,
             window=self.window,
+            walks_per_node=self.walks_per_node,
             num_negatives=self.num_negatives,
             batch_size=self.batch_size,
             rng=rng,

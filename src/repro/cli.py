@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.core import TransNConfig
 from repro.graph import compute_statistics, load_graph, save_embeddings, save_graph
 from repro.graph.heterograph import HeteroGraph
+from repro.walks.policies import POLICY_NAMES
 
 
 def _load_labels(path: str | Path) -> dict[str, str]:
@@ -73,6 +74,7 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
         raise SystemExit("--resume needs --checkpoint-dir")
     if trace and report is None:
         raise SystemExit("--trace needs --report")
+    walk_policy = getattr(args, "walk_policy", None)
     if name == "transn":
         try:
             config = TransNConfig(
@@ -81,6 +83,7 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 num_iterations=args.iterations,
                 checkpoint_every=checkpoint_every,
                 health_policy=health_policy,
+                **({} if walk_policy is None else {"walk_policy": walk_policy}),
             )
         except ValueError as error:
             raise SystemExit(str(error)) from None
@@ -88,6 +91,11 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
             config, checkpoint_dir=checkpoint_dir, resume=resume
         )
     else:
+        if walk_policy is not None:
+            raise SystemExit(
+                "--walk-policy is only supported for --method transn; "
+                "baselines fix their own walk strategy"
+            )
         if checkpoint_dir is not None:
             raise SystemExit(
                 "--checkpoint-dir/--resume are only supported for "
@@ -245,6 +253,13 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=TransNConfig().num_iterations,
         help="TransN outer iterations (Algorithm 1's K)",
+    )
+    parser.add_argument(
+        "--walk-policy",
+        choices=POLICY_NAMES,
+        default=None,
+        help="walk strategy for TransN's views (default: the paper's "
+        "biased correlated walk)",
     )
     parser.add_argument(
         "--verbose",

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.walks.policies import POLICY_NAMES
+
 
 @dataclass(frozen=True)
 class TransNConfig:
@@ -39,9 +41,23 @@ class TransNConfig:
             iteration.
         batch_size: skip-gram minibatch size.
 
+        walk_policy: the per-view walk strategy (``docs/walk_policies.md``):
+            "biased" (the paper's Eqs. 6-7, default), "uniform",
+            "node2vec", "het-node2vec", "metapath", "spacey", or
+            "relation-balanced" (biased walks + the BHIN2vec-style
+            :class:`repro.engine.RelationBalancer` reweighting per-view
+            training shares from recorded per-view losses).
+        walk_p / walk_q: node2vec return/in-out parameters (node2vec and
+            het-node2vec policies only).
+        type_switch: het-node2vec cross-type transition factor (> 1 pushes
+            walks across node-type boundaries).
+        balance_strength: exponent of the relation-balanced walk-share
+            update (0 disables rebalancing).
+
         use_cross_view: Table V "TransN-Without-Cross-View" when False.
         simple_walk: Table V "TransN-With-Simple-Walk" when True
-            (uniform, weight-blind walks).
+            (uniform, weight-blind walks) — shorthand for
+            ``walk_policy="uniform"``, kept for the ablation presets.
         simple_translator: Table V "TransN-With-Simple-Translator" when
             True (a single feed-forward layer per translator).
         use_translation_tasks: Table V "TransN-Without-Translation-Tasks"
@@ -85,6 +101,12 @@ class TransNConfig:
     cross_path_len: int = 6
     cross_paths_per_pair: int = 80
     batch_size: int = 256
+
+    walk_policy: str = "biased"
+    walk_p: float = 1.0
+    walk_q: float = 1.0
+    type_switch: float = 2.0
+    balance_strength: float = 1.0
 
     use_cross_view: bool = True
     simple_walk: bool = False
@@ -134,6 +156,22 @@ class TransNConfig:
         )
         require(self.batch_size >= 1, "batch_size", "must be >= 1")
         require(self.checkpoint_every >= 1, "checkpoint_every", "must be >= 1")
+        if self.walk_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown walk_policy {self.walk_policy!r}; "
+                f"choose from {POLICY_NAMES}"
+            )
+        require(self.walk_p > 0, "walk_p", "must be > 0")
+        require(self.walk_q > 0, "walk_q", "must be > 0")
+        require(self.type_switch > 0, "type_switch", "must be > 0")
+        require(
+            self.balance_strength >= 0, "balance_strength", "must be >= 0"
+        )
+        if self.simple_walk and self.walk_policy not in ("biased", "uniform"):
+            raise ValueError(
+                "simple_walk=True forces uniform walks and conflicts with "
+                f"walk_policy={self.walk_policy!r}; set one or the other"
+            )
         if self.view_weighting not in ("uniform", "degree"):
             raise ValueError(
                 f"unknown view_weighting {self.view_weighting!r}; "
@@ -150,6 +188,11 @@ class TransNConfig:
                     "cross-view training needs at least one of the "
                     "translation/reconstruction tasks enabled"
                 )
+
+    @property
+    def resolved_walk_policy(self) -> str:
+        """The effective policy name (``simple_walk`` wins as "uniform")."""
+        return "uniform" if self.simple_walk else self.walk_policy
 
     # ------------------------------------------------------------------
     # Table V presets

@@ -39,7 +39,11 @@ from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View, ViewPair, paired_subviews
 from repro.nn import Adam
 from repro.nn.optim import RowAdam, RowOptimizer, gradient_norm, make_row_optimizer
-from repro.walks import BatchedBiasedCorrelatedWalker, BatchedUniformWalker
+from repro.walks import (
+    BiasedCorrelatedPolicy,
+    LockstepWalker,
+    UniformPolicy,
+)
 from repro.walks.corpus import WalkCorpus, chunk_paths, filter_to_nodes
 
 from repro.core.translator import make_translator
@@ -114,6 +118,7 @@ class CrossViewTrainer:
         use_reconstruction_tasks: bool = True,
         normalize_similarity: bool = True,
         batched: bool = True,
+        policy_factory=None,
     ) -> None:
         if not (use_translation_tasks or use_reconstruction_tasks):
             raise ValueError("at least one cross-view task must be enabled")
@@ -132,13 +137,13 @@ class CrossViewTrainer:
         self._metric_scope = ""  # set per direction while training
 
         self.sub_i, self.sub_j = paired_subviews(pair)
-        walker_cls = (
-            BatchedUniformWalker
-            if simple_walk
-            else BatchedBiasedCorrelatedWalker
-        )
-        self._walker_i = walker_cls(self.sub_i, rng=rng)
-        self._walker_j = walker_cls(self.sub_j, rng=rng)
+        # one fresh policy instance per subview (policies bind to one graph)
+        if policy_factory is None:
+            policy_factory = (
+                UniformPolicy if simple_walk else BiasedCorrelatedPolicy
+            )
+        self._walker_i = LockstepWalker(self.sub_i, policy_factory(), rng=rng)
+        self._walker_j = LockstepWalker(self.sub_j, policy_factory(), rng=rng)
 
         self.translator_ij = make_translator(
             cross_path_len, dim, num_encoders, simple_translator, rng=rng

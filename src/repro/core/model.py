@@ -27,12 +27,14 @@ from repro.engine import (
     MetricsRegistry,
     NumericalHealthGuard,
     Phase,
+    RelationBalancer,
     RunReport,
     Tracer,
     TrainingLoop,
 )
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import build_view_pairs, separate_views
+from repro.walks import WalkPolicy, make_policy
 
 from repro.core.config import TransNConfig
 from repro.core.cross_view import CrossViewTrainer
@@ -168,7 +170,7 @@ class TransN:
                 walk_cap=cfg.walk_cap,
                 num_negatives=cfg.num_negatives,
                 batch_size=cfg.batch_size,
-                simple_walk=cfg.simple_walk,
+                policy=self._view_policy(),
             )
             for view in self.views
         ]
@@ -186,7 +188,7 @@ class TransN:
                 paths_per_epoch=cfg.cross_paths_per_pair,
                 lr_cross=cfg.lr_cross,
                 lr_cross_embeddings=cfg.lr_cross_embeddings,
-                simple_walk=cfg.simple_walk,
+                policy_factory=self._view_policy,
                 simple_translator=cfg.simple_translator,
                 use_translation_tasks=cfg.use_translation_tasks,
                 use_reconstruction_tasks=cfg.use_reconstruction_tasks,
@@ -208,6 +210,25 @@ class TransN:
         self.last_run: LoopResult | None = None
         self.timings: dict[str, float] = {}
         self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _view_policy(self) -> WalkPolicy:
+        """A fresh walk policy per view/subview from the config knobs.
+
+        Policies bind to exactly one graph, so every trainer gets its own
+        instance.  The relation-balanced mode walks with the paper's
+        biased policy — its balancing lives in the
+        :class:`~repro.engine.RelationBalancer` loop callback, attached
+        by :meth:`fit`.  Metapath-family policies derive their cycle from
+        each view's node types at bind time.
+        """
+        cfg = self.config
+        return make_policy(
+            cfg.resolved_walk_policy,
+            p=cfg.walk_p,
+            q=cfg.walk_q,
+            type_switch=cfg.type_switch,
+        )
 
     # ------------------------------------------------------------------
     # training
@@ -415,7 +436,14 @@ class TransN:
                 "resume=True needs a checkpoint directory or manager"
             )
 
-        observing = report is not None or metrics is not None
+        # the relation balancer feeds on recorded per-view losses, so it
+        # forces the metrics registry on even without a report request
+        balancing = (
+            self.config.resolved_walk_policy == "relation-balanced"
+            and self.config.balance_strength > 0
+            and len(self.single_trainers) > 1
+        )
+        observing = report is not None or metrics is not None or balancing
         if observing and metrics is None:
             metrics = MetricsRegistry()
         owns_tracer = observing and tracer is None
@@ -428,6 +456,13 @@ class TransN:
                 trainer.bind_metrics(metrics)
 
         engine_callbacks: list[Callback] = []
+        if balancing:
+            engine_callbacks.append(
+                RelationBalancer(
+                    self.single_trainers,
+                    strength=self.config.balance_strength,
+                )
+            )
         if self.config.health_policy is not None:
             engine_callbacks.append(
                 NumericalHealthGuard(

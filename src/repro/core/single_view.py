@@ -14,8 +14,10 @@ from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
 from repro.graph.views import View
 from repro.skipgram import SkipGramTrainer, window_for_view
 from repro.walks import (
-    BatchedBiasedCorrelatedWalker,
-    BatchedUniformWalker,
+    BiasedCorrelatedPolicy,
+    LockstepWalker,
+    UniformPolicy,
+    WalkPolicy,
     build_corpus,
 )
 from repro.walks.corpus import WalkCorpus
@@ -31,7 +33,12 @@ class SingleViewTrainer:
         embeddings: the view-specific embedding matrix, shape
             (view.num_nodes, dim), indexed by ``view.graph.index_of``;
             shared with the cross-view trainer and updated in place.
-        simple_walk: use uniform weight-blind walks (Table V ablation).
+        simple_walk: use uniform weight-blind walks (Table V ablation);
+            ignored when ``policy`` is given.
+        policy: an explicit :class:`repro.walks.WalkPolicy` instance for
+            this view (the pluggable strategy layer); ``None`` selects
+            the paper's biased-correlated walk (or uniform under
+            ``simple_walk``).
         walk_length / walk_floor / walk_cap: corpus parameters.
         num_negatives: negatives per positive pair.
         batch_size: SGD minibatch size.
@@ -53,6 +60,7 @@ class SingleViewTrainer:
         batch_size: int = 256,
         simple_walk: bool = False,
         optimizer: str = "sgd",
+        policy: WalkPolicy | None = None,
     ) -> None:
         if embeddings.shape[0] != view.num_nodes:
             raise ValueError(
@@ -67,10 +75,11 @@ class SingleViewTrainer:
         self.num_negatives = num_negatives
         self.batch_size = batch_size
         self.window = window_for_view(view)
-        if simple_walk:
-            self.walker = BatchedUniformWalker(view, rng=rng)
-        else:
-            self.walker = BatchedBiasedCorrelatedWalker(view, rng=rng)
+        if policy is None:
+            policy = UniformPolicy() if simple_walk else BiasedCorrelatedPolicy()
+        self.policy = policy
+        self.walker = LockstepWalker(view, policy, rng=rng)
+        self.walk_scale = 1.0  # RelationBalancer's per-view share knob
         self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
         self.metrics: MetricsRegistry = NULL_REGISTRY
         self._last_corpus: WalkCorpus | None = None
@@ -97,6 +106,7 @@ class SingleViewTrainer:
             floor=self.walk_floor,
             cap=self.walk_cap,
             rng=self.rng,
+            count_scale=self.walk_scale,
         )
         return self._last_corpus
 
@@ -138,11 +148,14 @@ class SingleViewTrainer:
         return {
             "skipgram": self.trainer.state_dict(),
             "pipeline": self.pipeline.state_dict(),
+            "walk_scale": self.walk_scale,
         }
 
     def load_state_dict(self, state: dict) -> None:
         self.trainer.load_state_dict(state["skipgram"])
         self.pipeline.load_state_dict(state["pipeline"])
+        # pre-balancer checkpoints lack the key; the neutral scale is 1
+        self.walk_scale = float(state.get("walk_scale", 1.0))
         self._last_corpus = None
 
     def _monitoring_corpus(self, num_pairs: int) -> WalkCorpus:

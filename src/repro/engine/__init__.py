@@ -40,6 +40,7 @@ from repro.engine.callbacks import (
     NumericalHealthGuard,
     PhaseTimer,
     ProgressReporter,
+    RelationBalancer,
 )
 from repro.engine.checkpoint import (
     Checkpoint,
@@ -99,6 +100,7 @@ __all__ = [
     "Phase",
     "PhaseTimer",
     "ProgressReporter",
+    "RelationBalancer",
     "RunReport",
     "SkipGramBatch",
     "SkipGramPhase",

@@ -110,6 +110,56 @@ class CorpusPipeline:
         self._noise: NoiseDistribution | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def for_policy(
+        cls,
+        view_or_graph,
+        policy,
+        *,
+        length: int,
+        window: int,
+        floor: int = 10,
+        cap: int = 32,
+        walks_per_node: int | None = None,
+        num_negatives: int = 5,
+        batch_size: int = 128,
+        rng: np.random.Generator | None = None,
+        noise_power: float = 0.75,
+    ) -> "CorpusPipeline":
+        """A pipeline walking ``view_or_graph`` with a :class:`WalkPolicy`.
+
+        The one-stop construction path for policy-driven SGNS training:
+        the policy is mounted on a lockstep engine sharing ``rng`` with
+        the negative draws, and each epoch samples a fresh corpus under
+        the degree-based count policy (or a fixed ``walks_per_node``).
+        Policies with restricted starts (metapath) only walk from their
+        admissible nodes.
+        """
+        from repro.walks.batched import LockstepWalker
+        from repro.walks.corpus import build_corpus
+
+        rng = rng or np.random.default_rng()
+        graph = getattr(view_or_graph, "graph", view_or_graph)
+        engine = LockstepWalker(view_or_graph, policy, rng=rng)
+        return cls(
+            sample_corpus=lambda: build_corpus(
+                view_or_graph,
+                engine,
+                length=length,
+                floor=floor,
+                cap=cap,
+                walks_per_node_override=walks_per_node,
+                rng=rng,
+            ),
+            num_nodes=graph.num_nodes,
+            window=window,
+            num_negatives=num_negatives,
+            batch_size=batch_size,
+            rng=rng,
+            noise_power=noise_power,
+        )
+
+    # ------------------------------------------------------------------
     def pairs(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
         """Flatten ``corpus`` into (centers, contexts) index arrays."""
         return extract_index_pairs(corpus, self.window)

@@ -19,6 +19,15 @@ arrays (``alias_prob``/``alias_local``) so that a single gather serves an
 arbitrary batch of current nodes.  They are built lazily on first access:
 uniform walkers never touch weights, so they never pay for the tables.
 
+Type-indexed column views serve the pluggable walk policies
+(:mod:`repro.walks.policies`): ``node_type_codes`` maps every node to a
+dense type code, ``slot_type_codes``/``slot_edge_type_codes`` annotate
+every CSR slot with the neighbour's node-type code and the edge's
+edge-type code, and ``edge_keys`` is a sorted packed-pair table enabling
+vectorized "is (u, v) an edge?" membership tests (the second-order
+node2vec distance-1 check).  All of them are lazy: policies that never
+look at types never pay for the columns.
+
 One instance is cached per graph (:func:`csr_adjacency`); every walker —
 scalar or batched — over the same graph shares the same build.
 """
@@ -70,6 +79,10 @@ class CSRAdjacency:
             ) - np.minimum.reduceat(self.weights, starts)
 
         self._alias: tuple[np.ndarray, np.ndarray] | None = None
+        self._node_types: tuple[np.ndarray, tuple[str, ...]] | None = None
+        self._slot_type_codes: np.ndarray | None = None
+        self._slot_edge_types: tuple[np.ndarray, tuple[str, ...]] | None = None
+        self._edge_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +124,106 @@ class CSRAdjacency:
     def alias_built(self) -> bool:
         """Whether the lazy alias tables exist yet (for tests)."""
         return self._alias is not None
+
+    # -- type-indexed column views (lazy) ------------------------------
+    def _type_table(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        if self._node_types is None:
+            graph = self.graph
+            names = tuple(sorted(graph.node_types))
+            code = {name: k for k, name in enumerate(names)}
+            codes = np.fromiter(
+                (code[graph.node_type(node)] for node in graph.nodes),
+                dtype=np.int64,
+                count=self.num_nodes,
+            )
+            self._node_types = (codes, names)
+        return self._node_types
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Node-type names in code order (``code == position``)."""
+        return self._type_table()[1]
+
+    @property
+    def node_type_codes(self) -> np.ndarray:
+        """(V,) dense node-type code per node index."""
+        return self._type_table()[0]
+
+    def type_code(self, name: str) -> int:
+        """The dense code of node type ``name``."""
+        try:
+            return self.type_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown node type {name!r}; graph has {self.type_names}"
+            ) from None
+
+    @property
+    def slot_type_codes(self) -> np.ndarray:
+        """(2E,) node-type code of the *neighbour* in each CSR slot."""
+        if self._slot_type_codes is None:
+            self._slot_type_codes = self.node_type_codes[self.indices]
+        return self._slot_type_codes
+
+    def _edge_type_table(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        if self._slot_edge_types is None:
+            graph = self.graph
+            names = tuple(sorted(graph.edge_types))
+            code = {name: k for k, name in enumerate(names)}
+            codes = np.empty(self.indices.size, dtype=np.int64)
+            pos = 0
+            for node in graph.nodes:
+                for _, _, edge_type in graph.incident(node):
+                    codes[pos] = code[edge_type]
+                    pos += 1
+            self._slot_edge_types = (codes, names)
+        return self._slot_edge_types
+
+    @property
+    def edge_type_names(self) -> tuple[str, ...]:
+        """Edge-type names in code order (``code == position``)."""
+        return self._edge_type_table()[1]
+
+    @property
+    def slot_edge_type_codes(self) -> np.ndarray:
+        """(2E,) edge-type code of the edge behind each CSR slot."""
+        return self._edge_type_table()[0]
+
+    @property
+    def edge_keys(self) -> np.ndarray:
+        """Sorted packed ``u * V + v`` keys, one per directed slot.
+
+        Supports vectorized adjacency-membership tests
+        (:meth:`has_edges`) via binary search — the node2vec
+        distance-1 check over whole candidate batches.
+        """
+        if self._edge_keys is None:
+            src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), self.degrees
+            )
+            self._edge_keys = np.sort(
+                src * np.int64(self.num_nodes) + self.indices
+            )
+        return self._edge_keys
+
+    def has_edges(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized membership: True where ``(u, v)`` is an edge.
+
+        ``us``/``vs`` are broadcast against each other; both must hold
+        valid node indices.
+        """
+        us, vs = np.broadcast_arrays(
+            np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+        )
+        keys = us * np.int64(self.num_nodes) + vs
+        table = self.edge_keys
+        if table.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        pos = np.searchsorted(table, keys)
+        found = pos < table.size
+        out = np.zeros(keys.shape, dtype=bool)
+        out[found] = table[pos[found]] == keys[found]
+        return out
 
 
 def csr_adjacency(graph: HeteroGraph) -> CSRAdjacency:

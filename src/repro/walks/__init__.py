@@ -1,39 +1,81 @@
-"""Random-walk engines.
+"""Random-walk engines and pluggable walk policies.
 
 The single-view algorithm of TransN (Section III-A) samples *biased
 correlated* random walks: step probabilities are proportional to edge
 weights (Equation 6), and on heter-views additionally favour edges whose
 weight is close to the previous step's weight (Equation 7, correlated
-walks).  Baselines need their own walkers: uniform walks (DeepWalk and the
-simple-walk ablation), second-order p/q walks (Node2Vec), and
-metapath-constrained walks (Metapath2Vec).
+walks).  That walk is one point in a family of heterogeneous strategies;
+each strategy is a :class:`~repro.walks.policies.WalkPolicy` — vectorized
+per-step transition logic over the shared CSR adjacency — and one generic
+lockstep engine (:class:`~repro.walks.batched.LockstepWalker`) executes
+any of them (see ``docs/walk_policies.md``):
 
-Two engine families share one cached CSR adjacency per graph:
+- ``UniformPolicy`` — DeepWalk / the simple-walk ablation;
+- ``BiasedCorrelatedPolicy`` — the paper's Equations 6-7;
+- ``Node2VecPolicy`` — second-order p/q walks;
+- ``MetapathPolicy`` — metapath-constrained walks;
+- ``HetNode2VecPolicy`` — type-aware transition scaling;
+- ``SpaceyMetapathPolicy`` — occupancy-reinforced spacey walks;
+- relation-balanced mode — biased walks + the
+  :class:`~repro.engine.callbacks.RelationBalancer` loop callback.
 
-- scalar walkers (:mod:`repro.walks.walker`) advance one walk at a time
-  and return node-ID lists — the distributional reference;
-- lockstep walkers (:mod:`repro.walks.batched`) advance a whole corpus
-  per vectorized step and return index-space matrices — the production
-  path of :func:`~repro.walks.corpus.build_corpus`.
+Scalar execution (:class:`~repro.walks.walker.ReferenceWalker`) samples
+the same policies one walk at a time from their exact probabilities — the
+distributional reference for tests.  The pre-refactor walker classes
+(``BatchedUniformWalker``, ``BatchedBiasedCorrelatedWalker``,
+``Node2VecWalker``, ``MetapathWalker``) remain importable but are
+deprecated shims over the policy layer.
 """
 
 from repro.walks.batched import (
     BatchedBiasedCorrelatedWalker,
     BatchedUniformWalker,
+    LockstepWalker,
 )
 from repro.walks.corpus import WalkCorpus, build_corpus, extract_index_pairs
 from repro.walks.metapath import MetapathWalker
 from repro.walks.node2vec import Node2VecWalker
+from repro.walks.policies import (
+    POLICY_NAMES,
+    BiasedCorrelatedPolicy,
+    HetNode2VecPolicy,
+    MetapathPolicy,
+    Node2VecPolicy,
+    SpaceyMetapathPolicy,
+    UniformPolicy,
+    WalkPolicy,
+    make_policy,
+)
 from repro.walks.policy import walk_counts, walks_per_node
-from repro.walks.walker import BiasedCorrelatedWalker, UniformWalker
+from repro.walks.walker import (
+    BiasedCorrelatedWalker,
+    ReferenceWalker,
+    UniformWalker,
+)
 
 __all__ = [
+    # policy layer
+    "WalkPolicy",
+    "UniformPolicy",
+    "BiasedCorrelatedPolicy",
+    "Node2VecPolicy",
+    "MetapathPolicy",
+    "HetNode2VecPolicy",
+    "SpaceyMetapathPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    # engines
+    "LockstepWalker",
+    "ReferenceWalker",
+    # scalar references
     "BiasedCorrelatedWalker",
     "UniformWalker",
+    # deprecated walker classes (shims over the policy layer)
     "BatchedBiasedCorrelatedWalker",
     "BatchedUniformWalker",
     "Node2VecWalker",
     "MetapathWalker",
+    # corpus construction
     "WalkCorpus",
     "build_corpus",
     "extract_index_pairs",

@@ -1,55 +1,65 @@
-"""Vectorized lockstep walk engines.
+"""The generic lockstep walk engine: one batching loop, any policy.
 
 The scalar walkers in :mod:`repro.walks.walker` advance one walk with one
 Python-level step at a time — the dominant cost of Algorithm 1's corpus
-resampling.  The engines here advance *all* walks of a corpus in lockstep:
-every iteration of the step loop performs one vectorized draw across the
-whole batch of active walks, so the per-step cost is a handful of NumPy
-gathers instead of a Python loop body per walk.
+resampling.  :class:`LockstepWalker` advances *all* walks of a corpus in
+lockstep: every iteration of the step loop asks its
+:class:`~repro.walks.policies.WalkPolicy` for one vectorized draw across
+the whole batch of active walks, so the per-step cost is a handful of
+NumPy gathers instead of a Python loop body per walk.
 
-Both engines sample exactly the same distributions as their scalar
-counterparts (Equations 6-7; the scalar walkers remain the distributional
-reference, and ``tests/walks/test_batched.py`` holds the equivalence
-evidence):
-
-- :class:`BatchedUniformWalker` — uniform over neighbours;
-- :class:`BatchedBiasedCorrelatedWalker` — pi_1 via a single gathered
-  alias draw over the flattened tables of the shared
-  :class:`~repro.graph.csr.CSRAdjacency`; pi_1 * pi_2 (the correlated
-  branch) via a masked row-wise cumulative-sum draw over a
-  ``(batch, max_degree)`` weight matrix.
+The engine owns *how* walks advance — the dense walk matrix, lengths,
+the live/stuck bookkeeping; the policy owns *what* a step does — the
+transition distribution and per-walk state.  Each policy samples exactly
+the distribution of its scalar reference (``tests/walks/test_policies.py``
+holds the chi-square equivalence evidence per policy).
 
 Walks are returned in *index space* as a dense ``(num_walks, length)``
 int64 matrix plus a per-walk length array; slots past a walk's length are
 ``-1``.  That is precisely the representation
 :class:`repro.walks.corpus.WalkCorpus` stores, so corpus construction
 never materializes per-walk Python lists.
+
+The pre-refactor engines survive as deprecated aliases:
+``BatchedUniformWalker`` == engine + :class:`UniformPolicy`,
+``BatchedBiasedCorrelatedWalker`` == engine +
+:class:`BiasedCorrelatedPolicy` — bit-for-bit, including RNG consumption
+order (the determinism goldens pin this).
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph
 from repro.graph.views import View
+from repro.walks.policies import (
+    BiasedCorrelatedPolicy,
+    UniformPolicy,
+    WalkPolicy,
+    _resolve_graph,
+)
 
-from repro.walks.walker import _PI2_FLOOR, _resolve_graph
+from repro.graph.csr import csr_adjacency
 
 PAD = -1
 """Fill value of walk-matrix slots past a walk's end."""
 
 
-class _LockstepWalker:
-    """Shared state of the batched engines: CSR adjacency + RNG."""
+class LockstepWalker:
+    """Executes any :class:`WalkPolicy` over batches of walks in lockstep."""
 
     def __init__(
         self,
         view_or_graph: View | HeteroGraph,
+        policy: WalkPolicy,
         rng: np.random.Generator | None = None,
     ) -> None:
         self.graph, self._is_heter = _resolve_graph(view_or_graph)
         self._csr = csr_adjacency(self.graph)
+        self.policy = policy.bind(view_or_graph)
         self.rng = rng or np.random.default_rng()
 
     def _start_state(
@@ -67,53 +77,73 @@ class _LockstepWalker:
         active = self._csr.degrees[starts] > 0
         return matrix, lengths, starts.copy(), active
 
-
-class BatchedUniformWalker(_LockstepWalker):
-    """Lockstep uniform walks (the vectorized :class:`UniformWalker`)."""
-
     def walk_batch(
         self, starts: np.ndarray, length: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Advance ``starts.size`` walks in lockstep.
+        """Advance ``starts.size`` walks of the bound policy in lockstep.
 
         Args:
             starts: 1-D int array of start node *indices*.
-            length: nodes per walk (walks at neighbour-less nodes end
-                early, mirroring the scalar walker).
+            length: nodes per walk.  Walks end early at neighbour-less
+                nodes or when the policy reports no admissible
+                transition (``STUCK``), mirroring the scalar walkers.
 
         Returns:
             ``(matrix, lengths)`` — the ``(num_walks, length)`` index
             matrix (``-1`` past each walk's end) and per-walk lengths.
         """
         csr = self._csr
+        policy = self.policy
         matrix, lengths, current, active = self._start_state(starts, length)
+        state = policy.init_state(
+            np.ascontiguousarray(starts, dtype=np.int64)
+        )
         for step in range(1, length):
             live = np.flatnonzero(active)
             if live.size == 0:
                 break
             here = current[live]
-            slot = self.rng.integers(0, csr.degrees[here])
-            nxt = csr.indices[csr.indptr[here] + slot]
+            slots = policy.sample_slots(self.rng, here, live, state)
+            stuck = slots < 0
+            if stuck.any():
+                active[live[stuck]] = False
+                live, here, slots = live[~stuck], here[~stuck], slots[~stuck]
+                if live.size == 0:
+                    continue
+            nxt = csr.indices[csr.indptr[here] + slots]
             matrix[live, step] = nxt
             lengths[live] += 1
             current[live] = nxt
+            policy.update_state(state, live, here, slots)
             active[live] = csr.degrees[nxt] > 0
         return matrix, lengths
 
 
-class BatchedBiasedCorrelatedWalker(_LockstepWalker):
-    """Lockstep biased correlated walks (Equations 6-7, vectorized).
+def _deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    Per iteration the active walks split into two groups:
 
-    - *pi_1* walks (first step, Delta = 0, or correlation off) draw one
-      gathered alias sample each from the flattened tables;
-    - *pi_1 * pi_2* walks gather their candidate weights into a padded
-      ``(batch, max_degree)`` matrix, apply Equation 7 against each
-      walk's previous edge weight, and draw by masked row-wise cumsum —
-      the same math as the scalar ``_step_correlated``, across all
-      correlated walks at once.
-    """
+class BatchedUniformWalker(LockstepWalker):
+    """Deprecated alias: engine + :class:`UniformPolicy`."""
+
+    def __init__(
+        self,
+        view_or_graph: View | HeteroGraph,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        _deprecated(
+            "BatchedUniformWalker",
+            "LockstepWalker(view_or_graph, UniformPolicy())",
+        )
+        super().__init__(view_or_graph, UniformPolicy(), rng=rng)
+
+
+class BatchedBiasedCorrelatedWalker(LockstepWalker):
+    """Deprecated alias: engine + :class:`BiasedCorrelatedPolicy`."""
 
     def __init__(
         self,
@@ -121,73 +151,16 @@ class BatchedBiasedCorrelatedWalker(_LockstepWalker):
         rng: np.random.Generator | None = None,
         correlated: bool | None = None,
     ) -> None:
-        super().__init__(view_or_graph, rng=rng)
-        self.correlated = self._is_heter if correlated is None else correlated
+        _deprecated(
+            "BatchedBiasedCorrelatedWalker",
+            "LockstepWalker(view_or_graph, BiasedCorrelatedPolicy())",
+        )
+        super().__init__(
+            view_or_graph,
+            BiasedCorrelatedPolicy(correlated=correlated),
+            rng=rng,
+        )
 
-    def _pi1_steps(self, here: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized alias draws: (next index, edge weight) per walk."""
-        csr = self._csr
-        prob, local = csr.alias_tables()
-        base = csr.indptr[here]
-        slot = self.rng.integers(0, csr.degrees[here])
-        coin = self.rng.random(here.size)
-        slot = np.where(coin < prob[base + slot], slot, local[base + slot])
-        return csr.indices[base + slot], csr.weights[base + slot]
-
-    def _pi2_steps(
-        self, here: np.ndarray, previous: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized Equation-7 draws against each walk's previous weight."""
-        csr = self._csr
-        degree = csr.degrees[here]
-        width = int(degree.max())
-        offsets = np.arange(width, dtype=np.int64)
-        slots = csr.indptr[here][:, None] + offsets[None, :]
-        valid = offsets[None, :] < degree[:, None]
-        weights = csr.weights[np.minimum(slots, csr.weights.size - 1)]
-        pi1 = weights / csr.weight_sums[here][:, None]
-        pi2 = 1.0 - (weights - previous[:, None]) / csr.delta[here][:, None]
-        probs = np.where(valid, pi1 * np.maximum(pi2, _PI2_FLOOR), 0.0)
-        cumsum = np.cumsum(probs, axis=1)
-        pick = self.rng.random(here.size) * cumsum[:, -1]
-        j = np.minimum((cumsum <= pick[:, None]).sum(axis=1), degree - 1)
-        rows = np.arange(here.size)
-        return csr.indices[csr.indptr[here] + j], weights[rows, j]
-
-    def walk_batch(
-        self, starts: np.ndarray, length: int
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Advance ``starts.size`` biased (correlated) walks in lockstep.
-
-        Same contract as :meth:`BatchedUniformWalker.walk_batch`.
-        """
-        csr = self._csr
-        matrix, lengths, current, active = self._start_state(starts, length)
-        previous_weight = np.zeros(starts.size, dtype=np.float64)
-        has_previous = np.zeros(starts.size, dtype=bool)
-        for step in range(1, length):
-            live = np.flatnonzero(active)
-            if live.size == 0:
-                break
-            here = current[live]
-            use_pi2 = (
-                has_previous[live] & (csr.delta[here] > 0.0)
-                if self.correlated
-                else np.zeros(live.size, dtype=bool)
-            )
-            nxt = np.empty(live.size, dtype=np.int64)
-            w = np.empty(live.size, dtype=np.float64)
-            plain = ~use_pi2
-            if plain.any():
-                nxt[plain], w[plain] = self._pi1_steps(here[plain])
-            if use_pi2.any():
-                nxt[use_pi2], w[use_pi2] = self._pi2_steps(
-                    here[use_pi2], previous_weight[live][use_pi2]
-                )
-            matrix[live, step] = nxt
-            lengths[live] += 1
-            current[live] = nxt
-            previous_weight[live] = w
-            has_previous[live] = True
-            active[live] = csr.degrees[nxt] > 0
-        return matrix, lengths
+    @property
+    def correlated(self) -> bool:
+        return self.policy.correlated

@@ -22,7 +22,8 @@ import numpy as np
 from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import View
-from repro.walks.batched import PAD
+from repro.walks.batched import PAD, LockstepWalker
+from repro.walks.policies import WalkPolicy
 from repro.walks.policy import walk_counts
 
 
@@ -185,39 +186,64 @@ def extract_index_pairs(
 
 def build_corpus(
     view_or_graph: View | HeteroGraph,
-    walker: Walker | BatchedWalker,
+    walker: Walker | BatchedWalker | WalkPolicy,
     length: int,
     floor: int = 10,
     cap: int = 32,
     walks_per_node_override: int | None = None,
     rng: np.random.Generator | None = None,
+    count_scale: float = 1.0,
 ) -> WalkCorpus:
     """Sample walks from every node under the degree-based count policy.
 
     With a lockstep walker (anything exposing ``walk_batch``) the whole
     corpus is one batched call: start indices are ``np.repeat`` of the
     per-node counts and the walker advances every walk simultaneously.
+    A bare :class:`WalkPolicy` is wrapped in a fresh
+    :class:`~repro.walks.batched.LockstepWalker` drawing from ``rng``.
     Scalar walkers fall back to one ``walk()`` call per start.
 
     Args:
         view_or_graph: where to walk.
-        walker: a walker already bound to the same view/graph.
+        walker: a walker already bound to the same view/graph, or a
+            :class:`WalkPolicy` to execute on the lockstep engine.
         length: nodes per walk.
         floor, cap: the walk-count policy bounds (paper: 10 and 32).
         walks_per_node_override: fixed count per node; used by baselines
             such as DeepWalk that ignore degree.
-        rng: used only to shuffle the corpus so SGD sees mixed nodes.
+        rng: shuffles the corpus so SGD sees mixed nodes; also drives the
+            walks themselves when ``walker`` is a bare policy.
+        count_scale: multiplier on every node's walk count (>= 1 walk is
+            kept where any was due) — the :class:`RelationBalancer`'s
+            knob for growing or shrinking one view's training share.
     """
     if length < 2:
         raise ValueError(f"walk length must be >= 2, got {length}")
     graph = view_or_graph.graph if isinstance(view_or_graph, View) else view_or_graph
     rng = rng or np.random.default_rng()
+    if isinstance(walker, WalkPolicy):
+        walker = LockstepWalker(view_or_graph, walker, rng=rng)
     degrees = csr_adjacency(graph).degrees
     if walks_per_node_override is not None:
         counts = np.full(graph.num_nodes, walks_per_node_override, dtype=np.int64)
     else:
         counts = walk_counts(degrees, floor=floor, cap=cap)
     counts = np.where(degrees > 0, counts, 0)  # isolated nodes start nothing
+    if count_scale != 1.0:
+        if count_scale <= 0:
+            raise ValueError(f"count_scale must be > 0, got {count_scale}")
+        counts = np.where(
+            counts > 0,
+            np.maximum(np.rint(counts * count_scale).astype(np.int64), 1),
+            0,
+        )
+    policy = getattr(walker, "policy", None)
+    if policy is not None:
+        allowed = policy.start_indices()
+        if allowed is not None:
+            mask = np.zeros(graph.num_nodes, dtype=bool)
+            mask[allowed] = True
+            counts = np.where(mask, counts, 0)
     starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), counts)
     if hasattr(walker, "walk_batch"):
         matrix, lengths = walker.walk_batch(starts, length)

@@ -1,21 +1,35 @@
-"""Metapath-constrained walks (Dong et al. 2017) for the Metapath2Vec baseline.
+"""Deprecated scalar metapath walker (superseded by MetapathPolicy).
 
-A metapath is a cyclic sequence of node types, e.g. ``["author", "paper",
-"venue", "paper", "author"]`` ("APVPA").  At each step the walker moves to
-a uniformly random neighbour whose type matches the next type on the path,
-wrapping around when the pattern is exhausted (the first and last types of
-a metapath coincide by convention).
+Metapath-constrained walks (Dong et al. 2017) for the Metapath2Vec
+baseline.  A metapath is a cyclic sequence of node types, e.g.
+``["author", "paper", "venue", "paper", "author"]`` ("APVPA"); at each
+step the walker moves to a uniformly random neighbour whose type matches
+the next type on the path, wrapping around.
+
+The transition logic now lives in
+:class:`repro.walks.policies.MetapathPolicy`; this class survives as a
+deprecated scalar entry point executing that policy through
+:class:`~repro.walks.walker.ReferenceWalker`.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.walks.policies import MetapathPolicy
+from repro.walks.walker import ReferenceWalker
 
 
-class MetapathWalker:
-    """Walks that follow a user-specified metapath over node types."""
+class MetapathWalker(ReferenceWalker):
+    """Deprecated: scalar walks that follow a metapath over node types.
+
+    Use :class:`repro.walks.policies.MetapathPolicy` with the lockstep
+    engine for corpora; this wrapper samples the identical distribution
+    one walk at a time from the policy's exact probabilities.
+    """
 
     def __init__(
         self,
@@ -23,55 +37,21 @@ class MetapathWalker:
         metapath: list[str],
         rng: np.random.Generator | None = None,
     ) -> None:
-        if len(metapath) < 2:
-            raise ValueError("a metapath needs at least two node types")
-        if metapath[0] != metapath[-1]:
-            raise ValueError(
-                "metapaths must be cyclic (first type == last type), got "
-                f"{metapath}"
-            )
-        unknown = set(metapath) - graph.node_types
-        if unknown:
-            raise ValueError(f"metapath mentions unknown node types {unknown}")
-        self.graph = graph
-        self.metapath = list(metapath)
-        self.rng = rng or np.random.default_rng()
-        # typed adjacency: node -> type -> neighbour list
-        self._typed_adj: dict[NodeId, dict[str, list[NodeId]]] = {}
-        for node in graph.nodes:
-            buckets: dict[str, list[NodeId]] = {}
-            for nbr, _, _ in graph.incident(node):
-                buckets.setdefault(graph.node_type(nbr), []).append(nbr)
-            self._typed_adj[node] = buckets
+        warnings.warn(
+            "MetapathWalker is deprecated; use "
+            "LockstepWalker(graph, MetapathPolicy(metapath)) or "
+            "ReferenceWalker(graph, MetapathPolicy(metapath)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(graph, MetapathPolicy(metapath), rng=rng)
+
+    @property
+    def metapath(self) -> list[str]:
+        return list(self.policy.metapath)
 
     def start_nodes(self) -> list[NodeId]:
         """Nodes of the metapath's first type — valid walk starts."""
-        return self.graph.nodes_of_type(self.metapath[0])
-
-    def walk(self, start: NodeId, length: int) -> list[NodeId]:
-        """One metapath-constrained walk of up to ``length`` nodes.
-
-        The walk stops early when no neighbour of the required next type
-        exists.  ``start`` must have the metapath's first node type.
-        """
-        if self.graph.node_type(start) != self.metapath[0]:
-            raise ValueError(
-                f"start node {start!r} has type "
-                f"{self.graph.node_type(start)!r}, metapath starts with "
-                f"{self.metapath[0]!r}"
-            )
-        # position within the repeating pattern; the pattern body excludes
-        # the duplicated final type
-        body = self.metapath[:-1]
-        path = [start]
-        position = 0
-        current = start
-        while len(path) < length:
-            next_type = body[(position + 1) % len(body)]
-            candidates = self._typed_adj[current].get(next_type, [])
-            if not candidates:
-                break
-            current = candidates[int(self.rng.integers(len(candidates)))]
-            path.append(current)
-            position += 1
-        return path
+        return [
+            self.graph.node_at(int(i)) for i in self.policy.start_indices()
+        ]

@@ -1,27 +1,35 @@
-"""Second-order p/q walks (Grover & Leskovec 2016) for the Node2Vec baseline."""
+"""Deprecated scalar node2vec walker (superseded by Node2VecPolicy).
+
+Second-order p/q walks (Grover & Leskovec 2016).  The transition math
+now lives in :class:`repro.walks.policies.Node2VecPolicy`; this class
+survives as a deprecated scalar entry point that executes that policy
+through :class:`~repro.walks.walker.ReferenceWalker`, so downstream
+callers keep working while new code uses
+``LockstepWalker(graph, Node2VecPolicy(p, q))``.
+"""
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.graph.alias import AliasSampler
-from repro.graph.heterograph import HeteroGraph, NodeId
+from repro.graph.heterograph import HeteroGraph
+from repro.walks.policies import Node2VecPolicy
+from repro.walks.walker import ReferenceWalker
 
 
-class Node2VecWalker:
-    """Biased second-order walks controlled by return (p) and in-out (q).
+class Node2VecWalker(ReferenceWalker):
+    """Deprecated: scalar second-order p/q walks.
 
     Transition weight from edge (t, v) to candidate x:
       * ``w / p`` if x == t (return),
       * ``w``     if x is adjacent to t (distance 1),
       * ``w / q`` otherwise (explore).
 
-    Sampling is O(1) per step via alias tables: first steps use a
-    per-node table over edge weights; second-order steps use per-(t, v)
-    tables built lazily on first traversal of the edge and cached — the
-    classic node2vec preprocessing, amortized instead of paid upfront so
-    sparse multi-epoch corpora only ever build tables for edges walks
-    actually cross.
+    Use :class:`repro.walks.policies.Node2VecPolicy` with the lockstep
+    engine for corpora; this wrapper samples the identical distribution
+    one walk at a time from the policy's exact probabilities.
     """
 
     def __init__(
@@ -31,61 +39,19 @@ class Node2VecWalker:
         q: float = 1.0,
         rng: np.random.Generator | None = None,
     ) -> None:
-        if p <= 0 or q <= 0:
-            raise ValueError(f"p and q must be positive, got p={p}, q={q}")
-        self.graph = graph
-        self.p = p
-        self.q = q
-        self.rng = rng or np.random.default_rng()
-        self._neighbor_sets: dict[NodeId, set[NodeId]] = {
-            node: set(graph.neighbors(node)) for node in graph.nodes
-        }
-        self._incident = {node: graph.incident(node) for node in graph.nodes}
-        self._first_alias = {
-            node: AliasSampler([w for _, w, _ in inc]) if inc else None
-            for node, inc in self._incident.items()
-        }
-        self._second_alias: dict[tuple[NodeId, NodeId], AliasSampler] = {}
+        warnings.warn(
+            "Node2VecWalker is deprecated; use "
+            "LockstepWalker(graph, Node2VecPolicy(p, q)) or "
+            "ReferenceWalker(graph, Node2VecPolicy(p, q)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(graph, Node2VecPolicy(p=p, q=q), rng=rng)
 
-    def _first_step(self, start: NodeId) -> NodeId | None:
-        sampler = self._first_alias[start]
-        if sampler is None:
-            return None
-        return self._incident[start][sampler.sample(self.rng)][0]
+    @property
+    def p(self) -> float:
+        return self.policy.p
 
-    def _second_sampler(self, prev: NodeId, current: NodeId) -> AliasSampler:
-        """The (t, v) transition table, built on first use."""
-        key = (prev, current)
-        sampler = self._second_alias.get(key)
-        if sampler is None:
-            incident = self._incident[current]
-            prev_neighbors = self._neighbor_sets[prev]
-            weights = np.empty(len(incident))
-            for j, (candidate, w, _) in enumerate(incident):
-                if candidate == prev:
-                    weights[j] = w / self.p
-                elif candidate in prev_neighbors:
-                    weights[j] = w
-                else:
-                    weights[j] = w / self.q
-            sampler = AliasSampler(weights)
-            self._second_alias[key] = sampler
-        return sampler
-
-    def walk(self, start: NodeId, length: int) -> list[NodeId]:
-        """One p/q-biased walk of up to ``length`` nodes."""
-        path = [start]
-        if length == 1:
-            return path
-        second = self._first_step(start)
-        if second is None:
-            return path
-        path.append(second)
-        while len(path) < length:
-            prev, current = path[-2], path[-1]
-            incident = self._incident[current]
-            if not incident:
-                break
-            sampler = self._second_sampler(prev, current)
-            path.append(incident[sampler.sample(self.rng)][0])
-        return path
+    @property
+    def q(self) -> float:
+        return self.policy.q

@@ -1,7 +1,7 @@
-"""First-order walkers: uniform and biased-correlated (Equations 4-7).
+"""Scalar reference walkers: one walk at a time, exact policy probabilities.
 
-Given the first k steps of a walk ``n_1 .. n_k``, the probability of
-stepping to ``n_{k+1}`` is (Equation 4):
+Given the first k steps of a walk ``n_1 .. n_k``, the paper's probability
+of stepping to ``n_{k+1}`` is (Equation 4):
 
 - ``pi_1`` alone — proportional to the edge weight (Equation 6) — on
   homo-views, on the first step, or when all of ``n_k``'s incident weights
@@ -11,16 +11,14 @@ stepping to ``n_{k+1}`` is (Equation 4):
   is bounded by ``1 - (w_next - w_prev) / Delta`` with ``Delta`` the spread
   of weights incident to ``n_k``.
 
-``pi_2`` can reach exactly zero for the single worst candidate; we floor it
-at a small epsilon so that the distribution stays well-defined when that
-candidate is the only neighbour.
-
-These walkers advance one walk at a time and serve as the distributional
-reference for the vectorized lockstep engines in
-:mod:`repro.walks.batched`, which sample the *same* Equation 6-7
-distributions but advance a whole corpus per array operation.  Both share
-one cached :class:`~repro.graph.csr.CSRAdjacency` per graph, so multiple
-walkers over the same view pay for a single O(V+E) adjacency build.
+These walkers are the *distributional references* for the lockstep engine
+(:mod:`repro.walks.batched`): :class:`ReferenceWalker` executes any
+:class:`~repro.walks.policies.WalkPolicy` by inverse-CDF sampling its
+exact :meth:`~repro.walks.policies.WalkPolicy.slot_probs` — the very same
+probability code the vectorized ``sample_slots`` implements — so
+scalar/batched equivalence holds by construction rather than by parallel
+reimplementation.  ``tests/walks/test_policies.py`` holds the chi-square
+evidence per policy.
 """
 
 from __future__ import annotations
@@ -30,28 +28,86 @@ import numpy as np
 from repro.graph.csr import csr_adjacency
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import View
+from repro.walks.policies import (
+    BiasedCorrelatedPolicy,
+    UniformPolicy,
+    WalkPolicy,
+    _PI2_FLOOR,
+    _resolve_graph,
+)
 
-_PI2_FLOOR = 1e-9
+__all__ = [
+    "ReferenceWalker",
+    "UniformWalker",
+    "BiasedCorrelatedWalker",
+    "_PI2_FLOOR",
+    "_resolve_graph",
+]
 
 
-def _resolve_graph(view_or_graph: View | HeteroGraph) -> tuple[HeteroGraph, bool]:
-    """Return (graph, is_heter) for a view or a bare graph.
+class ReferenceWalker:
+    """Scalar executor of any :class:`WalkPolicy`, one walk at a time.
 
-    A bare graph is treated as homogeneous: correlated steps (Equation 7)
-    only apply to heter-views.
+    Each step evaluates the policy's exact ``slot_probs`` and samples by
+    inverse CDF over the cumulative sum — O(degree) per step, which is
+    exactly why the lockstep engine exists.  Use this for tests and
+    ground-truth distributions, the engine for corpora.
     """
-    if isinstance(view_or_graph, View):
-        return view_or_graph.graph, view_or_graph.is_heter
-    return view_or_graph, False
+
+    def __init__(
+        self,
+        view_or_graph: View | HeteroGraph,
+        policy: WalkPolicy,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.graph, _ = _resolve_graph(view_or_graph)
+        self._csr = csr_adjacency(self.graph)
+        self.policy = policy.bind(view_or_graph)
+        self.rng = rng or np.random.default_rng()
+
+    def walk(self, start: NodeId, length: int) -> list[NodeId]:
+        """One walk of up to ``length`` nodes starting at ``start``.
+
+        The walk stops early at a node with no neighbours or when the
+        policy reports no admissible transition.
+        """
+        graph = self.graph
+        csr = self._csr
+        policy = self.policy
+        current = graph.index_of(start)
+        state = policy.init_state(np.array([current], dtype=np.int64))
+        path = [current]
+        row = np.zeros(1, dtype=np.int64)
+        for _ in range(length - 1):
+            probs = policy.slot_probs(current, state, 0)
+            if probs.size == 0:
+                break
+            cumsum = np.cumsum(probs)
+            total = cumsum[-1]
+            if total <= 0.0:
+                break
+            pick = self.rng.random() * total
+            j = min(
+                int(np.searchsorted(cumsum, pick, side="right")),
+                probs.size - 1,
+            )
+            policy.update_state(
+                state,
+                row,
+                np.array([current], dtype=np.int64),
+                np.array([j], dtype=np.int64),
+            )
+            current = int(csr.indices[csr.indptr[current] + j])
+            path.append(current)
+        return [graph.node_at(i) for i in path]
 
 
-class UniformWalker:
+class UniformWalker(ReferenceWalker):
     """Simple random walks: uniform over neighbours, weights ignored.
 
     This is both DeepWalk's walker and the paper's
-    ``TransN-With-Simple-Walk`` ablation.  It only reads the CSR
-    structure arrays — the lazily-built alias tables (which it would
-    ignore) are never constructed on its behalf.
+    ``TransN-With-Simple-Walk`` ablation — the scalar reference of
+    :class:`~repro.walks.policies.UniformPolicy`.
     """
 
     def __init__(
@@ -59,31 +115,17 @@ class UniformWalker:
         view_or_graph: View | HeteroGraph,
         rng: np.random.Generator | None = None,
     ) -> None:
-        self.graph, _ = _resolve_graph(view_or_graph)
-        self._csr = csr_adjacency(self.graph)
-        self.rng = rng or np.random.default_rng()
-
-    def walk(self, start: NodeId, length: int) -> list[NodeId]:
-        """One walk of ``length`` nodes starting at ``start``.
-
-        The walk stops early at a node with no neighbours (cannot happen
-        inside a view, but plain graphs may contain isolated nodes).
-        """
-        graph = self.graph
-        csr = self._csr
-        current = graph.index_of(start)
-        path = [current]
-        for _ in range(length - 1):
-            nbrs = csr.neighbors(current)
-            if nbrs.size == 0:
-                break
-            current = int(nbrs[int(self.rng.integers(nbrs.size))])
-            path.append(current)
-        return [graph.node_at(i) for i in path]
+        super().__init__(view_or_graph, UniformPolicy(), rng=rng)
 
 
-class BiasedCorrelatedWalker:
-    """The paper's walker: weight-biased (Eq. 6), correlated on heter-views (Eq. 7)."""
+class BiasedCorrelatedWalker(ReferenceWalker):
+    """The paper's walker: weight-biased (Eq. 6), correlated on heter-views (Eq. 7).
+
+    The scalar reference of
+    :class:`~repro.walks.policies.BiasedCorrelatedPolicy`; every
+    probability it reports comes from the policy's own
+    :meth:`~repro.walks.policies.BiasedCorrelatedPolicy.pi_weights`.
+    """
 
     def __init__(
         self,
@@ -97,63 +139,15 @@ class BiasedCorrelatedWalker:
         correlated: force Equation 7 on (True) or off (False); by default
             it is enabled exactly on heter-views, per the paper.
         """
-        self.graph, is_heter = _resolve_graph(view_or_graph)
-        self.correlated = is_heter if correlated is None else correlated
-        self._csr = csr_adjacency(self.graph)
-        self.rng = rng or np.random.default_rng()
+        super().__init__(
+            view_or_graph,
+            BiasedCorrelatedPolicy(correlated=correlated),
+            rng=rng,
+        )
 
-    def _step_weighted(self, current: int) -> tuple[int, float]:
-        """One pi_1 step (O(1) alias draw); returns (next index, weight)."""
-        csr = self._csr
-        prob, local = csr.alias_tables()
-        base = csr.indptr[current]
-        slot = int(self.rng.integers(csr.degrees[current]))
-        if self.rng.random() >= prob[base + slot]:
-            slot = int(local[base + slot])
-        return int(csr.indices[base + slot]), float(csr.weights[base + slot])
-
-    def _step_correlated(
-        self, current: int, previous_weight: float
-    ) -> tuple[int, float]:
-        """One pi_1 * pi_2 step (Equation 4, 'otherwise' branch).
-
-        The pi_2 factor depends on the previous edge's weight, so this
-        distribution cannot be alias-tabled ahead of time; the cumsum draw
-        stays, but only on the correlated branch."""
-        csr = self._csr
-        weights = csr.segment_weights(current)
-        delta = csr.delta[current]
-        pi1 = weights / csr.weight_sums[current]
-        pi2 = 1.0 - (weights - previous_weight) / delta
-        probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
-        cumsum = np.cumsum(probs)
-        pick = self.rng.random() * cumsum[-1]
-        j = min(int(np.searchsorted(cumsum, pick, side="right")), probs.size - 1)
-        return int(csr.neighbors(current)[j]), float(weights[j])
-
-    def walk(self, start: NodeId, length: int) -> list[NodeId]:
-        """One biased (and, on heter-views, correlated) walk."""
-        graph = self.graph
-        csr = self._csr
-        current = graph.index_of(start)
-        path = [current]
-        previous_weight: float | None = None
-        for _ in range(length - 1):
-            if csr.degrees[current] == 0:
-                break
-            use_pi2 = (
-                self.correlated
-                and previous_weight is not None
-                and csr.delta[current] > 0.0
-            )
-            if use_pi2:
-                nxt, w = self._step_correlated(current, previous_weight)
-            else:
-                nxt, w = self._step_weighted(current)
-            path.append(nxt)
-            current = nxt
-            previous_weight = w
-        return [graph.node_at(i) for i in path]
+    @property
+    def correlated(self) -> bool:
+        return self.policy.correlated
 
     def step_distribution(
         self, current: NodeId, previous_weight: float | None = None
@@ -168,17 +162,12 @@ class BiasedCorrelatedWalker:
         weights = csr.segment_weights(i)
         if weights.size == 0:
             return {}
-        pi1 = weights / weights.sum()
-        use_pi2 = (
-            self.correlated
-            and previous_weight is not None
-            and csr.delta[i] > 0.0
+        probs = self.policy.pi_weights(
+            weights,
+            float(weights.sum()),
+            float(csr.delta[i]),
+            previous_weight,
         )
-        if use_pi2:
-            pi2 = 1.0 - (weights - previous_weight) / csr.delta[i]
-            probs = pi1 * np.maximum(pi2, _PI2_FLOOR)
-        else:
-            probs = pi1
         probs = probs / probs.sum()
         result: dict[NodeId, float] = {}
         for j, p in zip(csr.neighbors(i), probs):

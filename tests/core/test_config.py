@@ -112,3 +112,46 @@ class TestConstructionValidation:
     def test_valid_health_policies(self):
         for policy in (None, "raise", "rollback", "skip"):
             assert TransNConfig(health_policy=policy).health_policy == policy
+
+
+class TestWalkPolicyKnobs:
+    def test_default_is_papers_walk(self):
+        config = TransNConfig()
+        assert config.walk_policy == "biased"
+        assert config.resolved_walk_policy == "biased"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="walk_policy"):
+            TransNConfig(walk_policy="teleport")
+
+    def test_all_registry_names_accepted(self):
+        from repro.walks import POLICY_NAMES
+
+        for name in POLICY_NAMES:
+            if name == "uniform":
+                continue  # exercised via simple_walk below
+            assert TransNConfig(walk_policy=name).walk_policy == name
+
+    def test_simple_walk_resolves_to_uniform(self):
+        assert TransNConfig(simple_walk=True).resolved_walk_policy == "uniform"
+
+    def test_simple_walk_conflict_rejected(self):
+        with pytest.raises(ValueError, match="simple_walk"):
+            TransNConfig(simple_walk=True, walk_policy="node2vec")
+
+    def test_simple_walk_uniform_compatible(self):
+        config = TransNConfig(simple_walk=True, walk_policy="uniform")
+        assert config.resolved_walk_policy == "uniform"
+
+    @pytest.mark.parametrize(
+        ("field_name", "value"),
+        [
+            ("walk_p", 0.0),
+            ("walk_q", -1.0),
+            ("type_switch", 0.0),
+            ("balance_strength", -0.5),
+        ],
+    )
+    def test_bad_knob_named_in_error(self, field_name, value):
+        with pytest.raises(ValueError, match=field_name):
+            TransNConfig(**{field_name: value})

@@ -5,7 +5,12 @@ import pytest
 
 from repro.core.single_view import SingleViewTrainer
 from repro.graph import separate_views
-from repro.walks import BatchedBiasedCorrelatedWalker, BatchedUniformWalker
+from repro.walks import (
+    BiasedCorrelatedPolicy,
+    LockstepWalker,
+    Node2VecPolicy,
+    UniformPolicy,
+)
 
 
 @pytest.fixture
@@ -43,8 +48,16 @@ class TestConstruction:
     def test_walker_selection(self, heter_view, rng):
         default_trainer, _ = make_trainer(heter_view, rng)
         simple_trainer, _ = make_trainer(heter_view, rng, simple_walk=True)
-        assert isinstance(default_trainer.walker, BatchedBiasedCorrelatedWalker)
-        assert isinstance(simple_trainer.walker, BatchedUniformWalker)
+        assert isinstance(default_trainer.walker, LockstepWalker)
+        assert isinstance(default_trainer.policy, BiasedCorrelatedPolicy)
+        assert isinstance(simple_trainer.policy, UniformPolicy)
+
+    def test_explicit_policy_wins(self, heter_view, rng):
+        trainer, _ = make_trainer(
+            heter_view, rng, policy=Node2VecPolicy(p=0.5, q=2.0)
+        )
+        assert isinstance(trainer.policy, Node2VecPolicy)
+        assert trainer.walker.policy is trainer.policy
 
 
 class TestTraining:

@@ -85,12 +85,19 @@ class TestCacheSharing:
         walker.walk("a", 4)
         assert not csr_adjacency(g).alias_built
 
-    def test_biased_walker_builds_alias_lazily(self, rng):
+    def test_biased_engine_builds_alias_lazily(self, rng):
+        """The batched pi_1 draw builds the tables on first use only.
+
+        (The scalar reference walker samples from exact ``slot_probs``
+        and never needs the alias tables at all.)
+        """
+        from repro.walks import BiasedCorrelatedPolicy, LockstepWalker
+
         g = HeteroGraph()
         g.add_node("a", "t")
         g.add_node("b", "t")
         g.add_edge("a", "b", "e", weight=5.0)
-        walker = BiasedCorrelatedWalker(g, rng=rng)
+        walker = LockstepWalker(g, BiasedCorrelatedPolicy(), rng=rng)
         assert not csr_adjacency(g).alias_built
-        walker.walk("a", 3)
+        walker.walk_batch(np.array([g.index_of("a")], dtype=np.int64), 3)
         assert csr_adjacency(g).alias_built

@@ -18,12 +18,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown node types"):
             MetapathWalker(academic, ["alien", "paper", "alien"], rng=rng)
 
-    def test_wrong_start_type(self, academic, rng):
+    def test_off_path_start_type(self, academic, rng):
         walker = MetapathWalker(
             academic, ["author", "paper", "author"], rng=rng
         )
-        with pytest.raises(ValueError, match="metapath starts"):
-            walker.walk("P1", 5)
+        with pytest.raises(ValueError, match="never visits"):
+            walker.walk("U1", 5)
+
+    def test_on_path_start_enters_mid_cycle(self, academic, rng):
+        """A paper start on the author-paper cycle aligns to the paper
+        position instead of erroring (cross-view walks start anywhere)."""
+        walker = MetapathWalker(
+            academic, ["author", "paper", "author"], rng=rng
+        )
+        walk = walker.walk("P1", 4)
+        types = [academic.node_type(node) for node in walk]
+        assert types == ["paper", "author", "paper", "author"]
 
 
 class TestWalks:
