@@ -75,6 +75,7 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
     if trace and report is None:
         raise SystemExit("--trace needs --report")
     walk_policy = getattr(args, "walk_policy", None)
+    workers = getattr(args, "workers", 0)
     if name == "transn":
         try:
             config = TransNConfig(
@@ -83,6 +84,7 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 num_iterations=args.iterations,
                 checkpoint_every=checkpoint_every,
                 health_policy=health_policy,
+                workers=workers,
                 **({} if walk_policy is None else {"walk_policy": walk_policy}),
             )
         except ValueError as error:
@@ -95,6 +97,11 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
             raise SystemExit(
                 "--walk-policy is only supported for --method transn; "
                 "baselines fix their own walk strategy"
+            )
+        if workers:
+            raise SystemExit(
+                "--workers is only supported for --method transn; "
+                "baselines sample their corpora serially"
             )
         if checkpoint_dir is not None:
             raise SystemExit(
@@ -260,6 +267,14 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="walk strategy for TransN's views (default: the paper's "
         "biased correlated walk)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="corpus-generation worker processes for TransN (0 = serial, "
+        "bit-identical to the pre-parallel path; N >= 1 is deterministic "
+        "per N — see docs/parallelism.md)",
     )
     parser.add_argument(
         "--verbose",

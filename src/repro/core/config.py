@@ -85,6 +85,21 @@ class TransNConfig:
             :class:`repro.engine.NumericalHealthGuard` with this policy
             ("raise", "rollback", or "skip"); ``None`` disables the
             guard.  Training infrastructure, not part of Algorithm 1.
+        workers: corpus-generation worker processes (0 = the serial
+            path, bit-identical to the pre-parallel implementation).
+            Any ``workers >= 1`` builds corpora through the
+            :class:`repro.engine.ParallelRuntime` (shared-memory CSR +
+            process pool) and trains view-disjoint cross-view pairs
+            concurrently; results are deterministic for a fixed worker
+            count but follow a different random stream than ``workers=0``
+            (``docs/parallelism.md``).  Training infrastructure, not
+            part of Algorithm 1.
+        prefetch: overlap next-epoch corpus generation with the current
+            epoch's training (needs ``workers >= 1``).  ``None`` (the
+            default) enables prefetch whenever workers are on and the
+            walk policy is not relation-balanced — under balancing a
+            prefetched corpus would use a one-epoch-stale walk share,
+            so it must be opted into explicitly with ``True``.
         seed: RNG seed for all randomness in the model.
     """
 
@@ -119,6 +134,8 @@ class TransNConfig:
 
     checkpoint_every: int = 1
     health_policy: str | None = None
+    workers: int = 0
+    prefetch: bool | None = None
 
     seed: int = 0
 
@@ -156,6 +173,12 @@ class TransNConfig:
         )
         require(self.batch_size >= 1, "batch_size", "must be >= 1")
         require(self.checkpoint_every >= 1, "checkpoint_every", "must be >= 1")
+        require(self.workers >= 0, "workers", "must be >= 0")
+        if self.prefetch and self.workers < 1:
+            raise ValueError(
+                "prefetch=True needs workers >= 1 (the background build "
+                f"runs on the worker pool), got workers={self.workers}"
+            )
         if self.walk_policy not in POLICY_NAMES:
             raise ValueError(
                 f"unknown walk_policy {self.walk_policy!r}; "

@@ -236,19 +236,23 @@ class CrossViewTrainer:
     # sampling
     # ------------------------------------------------------------------
     def _sample_chunks(
-        self, subview: View, walker, starts: np.ndarray
+        self,
+        subview: View,
+        walker,
+        starts: np.ndarray,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """T lockstep walks from common-node starts -> filter -> chunks.
 
         Returns a ``(num_chunks, cross_path_len)`` index matrix in the
-        subview's index space.
+        subview's index space.  ``rng`` overrides the trainer's own
+        stream (the parallel layer passes a per-pair per-step generator).
         """
         if starts.size == 0:
             return np.empty((0, self.cross_path_len), dtype=np.int64)
-        picks = starts[
-            self.rng.integers(starts.size, size=self.paths_per_epoch)
-        ]
-        matrix, lengths = walker.walk_batch(picks, self.walk_length)
+        rng = self.rng if rng is None else rng
+        picks = starts[rng.integers(starts.size, size=self.paths_per_epoch)]
+        matrix, lengths = walker.walk_batch(picks, self.walk_length, rng=rng)
         corpus = WalkCorpus(matrix, lengths, self.walk_length, subview.graph)
         corpus = filter_to_nodes(corpus, self._common, min_length=2)
         return chunk_paths(corpus, self.cross_path_len)
@@ -375,14 +379,23 @@ class CrossViewTrainer:
             r_sum += r
         return t_sum, r_sum, num_chunks
 
-    def train_epoch(self) -> CrossViewLosses:
-        """Lines 9-12 of Algorithm 1 for this view-pair."""
+    def train_epoch(
+        self, rng: np.random.Generator | None = None
+    ) -> CrossViewLosses:
+        """Lines 9-12 of Algorithm 1 for this view-pair.
+
+        ``rng`` replaces the trainer's shared stream for this epoch's
+        sampling — with one private generator per pair per step the
+        epoch's result no longer depends on the order pairs run in,
+        which is what lets :meth:`repro.engine.ParallelRuntime.train_pairs`
+        run view-disjoint pairs on concurrent threads.
+        """
         losses = CrossViewLosses()
         chunks_i = self._sample_chunks(
-            self.sub_i, self._walker_i, self._starts_i
+            self.sub_i, self._walker_i, self._starts_i, rng=rng
         )
         chunks_j = self._sample_chunks(
-            self.sub_j, self._walker_j, self._starts_j
+            self.sub_j, self._walker_j, self._starts_j, rng=rng
         )
         type_i = self.pair.view_i.edge_type
         type_j = self.pair.view_j.edge_type

@@ -14,6 +14,7 @@ Usage:
 from __future__ import annotations
 
 import copy
+import weakref
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -32,6 +33,7 @@ from repro.engine import (
     Tracer,
     TrainingLoop,
 )
+from repro.engine.parallel import ParallelRuntime, pair_rng
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import build_view_pairs, separate_views
 from repro.walks import WalkPolicy, make_policy
@@ -160,6 +162,29 @@ class TransN:
                 ]
             self.view_embeddings[view.edge_type] = matrix
 
+        # the parallel runtime (workers >= 1) is created eagerly, on the
+        # main thread, before any helper thread exists — fork-safety of
+        # the worker pool (see repro.engine.parallel) — and torn down by
+        # a finalizer when the model is collected
+        self._parallel = (
+            ParallelRuntime(cfg.workers) if cfg.workers > 0 else None
+        )
+        if self._parallel is not None:
+            weakref.finalize(self, self._parallel.shutdown)
+        balancing_possible = (
+            cfg.resolved_walk_policy == "relation-balanced"
+            and cfg.balance_strength > 0
+            and len(self.views) > 1
+        )
+        # under relation balancing a prefetched corpus would use a
+        # one-epoch-stale walk share, so prefetch is opt-in there
+        prefetch = (
+            cfg.prefetch
+            if cfg.prefetch is not None
+            else (self._parallel is not None and not balancing_possible)
+        )
+        self._cross_steps = 0  # cross-view step clock (parallel rng key)
+
         self.single_trainers = [
             SingleViewTrainer(
                 view,
@@ -171,8 +196,12 @@ class TransN:
                 num_negatives=cfg.num_negatives,
                 batch_size=cfg.batch_size,
                 policy=self._view_policy(),
+                parallel=self._parallel,
+                prefetch=bool(prefetch),
+                seed=cfg.seed,
+                view_code=view_code,
             )
-            for view in self.views
+            for view_code, view in enumerate(self.views)
         ]
 
         self.cross_trainers = [
@@ -244,8 +273,26 @@ class TransN:
         return {"loss": value}
 
     def _cross_view_step(self) -> dict[str, float]:
-        """Lines 9-12 of Algorithm 1: dual learning over every view-pair."""
-        epoch_losses = [trainer.train_epoch() for trainer in self.cross_trainers]
+        """Lines 9-12 of Algorithm 1: dual learning over every view-pair.
+
+        With a parallel runtime each pair draws from its own
+        ``pair_rng(seed, pair_index, step)`` stream and view-disjoint
+        pairs train on concurrent threads; serially every pair shares the
+        model RNG in pair order (the pre-parallel behaviour, bit-exact).
+        """
+        if self._parallel is not None and self.cross_trainers:
+            rngs = [
+                pair_rng(self.config.seed, k, self._cross_steps)
+                for k in range(len(self.cross_trainers))
+            ]
+            epoch_losses = self._parallel.train_pairs(
+                self.cross_trainers, rngs
+            )
+        else:
+            epoch_losses = [
+                trainer.train_epoch() for trainer in self.cross_trainers
+            ]
+        self._cross_steps += 1
         trained = [e for e in epoch_losses if e.num_paths > 0]
         if not trained:
             return {}
@@ -287,6 +334,7 @@ class TransN:
             "phase_lrs": {
                 phase.name: float(phase.lr) for phase in self._phases
             },
+            "cross_steps": self._cross_steps,
             "history": {
                 "single_view": list(self.history.single_view),
                 "translation": list(self.history.translation),
@@ -355,6 +403,10 @@ class TransN:
                 phase._set_lr_silently(saved_lr)
             else:
                 phase.lr = saved_lr
+
+        # pre-parallel checkpoints lack the clock; 0 matches their serial
+        # path, which never reads it
+        self._cross_steps = int(state.get("cross_steps", 0))
 
         history = state["history"]
         self.history.single_view[:] = history["single_view"]
@@ -454,6 +506,8 @@ class TransN:
                 trainer.bind_metrics(metrics)
             for trainer in self.cross_trainers:
                 trainer.bind_metrics(metrics)
+            if self._parallel is not None:
+                self._parallel.bind_metrics(metrics)
 
         engine_callbacks: list[Callback] = []
         if balancing:

@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from repro.engine import CorpusPipeline
 from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
+from repro.engine.parallel import (
+    ParallelRuntime,
+    PrefetchingSampler,
+    single_view_seed,
+)
 from repro.graph.views import View
 from repro.skipgram import SkipGramTrainer, window_for_view
 from repro.walks import (
@@ -46,6 +51,14 @@ class SingleViewTrainer:
         optimizer: row optimizer of the SGNS matrices (``"sgd"`` is the
             paper-faithful word2vec update; ``"adam"`` is the engine
             extension).
+        parallel: a :class:`repro.engine.ParallelRuntime` to build
+            corpora on (``None`` keeps the serial path bit-identical to
+            the pre-parallel implementation).
+        prefetch: overlap the next corpus build with training (needs
+            ``parallel``).
+        seed / view_code: key the deterministic per-draw seed stream of
+            the parallel path (``single_view_seed(seed, view_code, t)``);
+            unused when ``parallel`` is ``None``.
     """
 
     def __init__(
@@ -61,6 +74,10 @@ class SingleViewTrainer:
         simple_walk: bool = False,
         optimizer: str = "sgd",
         policy: WalkPolicy | None = None,
+        parallel: ParallelRuntime | None = None,
+        prefetch: bool = False,
+        seed: int = 0,
+        view_code: int = 0,
     ) -> None:
         if embeddings.shape[0] != view.num_nodes:
             raise ValueError(
@@ -83,6 +100,15 @@ class SingleViewTrainer:
         self.trainer = SkipGramTrainer(embeddings, rng=rng, optimizer=optimizer)
         self.metrics: MetricsRegistry = NULL_REGISTRY
         self._last_corpus: WalkCorpus | None = None
+        self.parallel = parallel
+        self.seed = seed
+        self.view_code = view_code
+        self._draws = 0  # monotonic corpus-draw clock, checkpointed
+        self._prefetcher = (
+            PrefetchingSampler(parallel, self._corpus_task)
+            if parallel is not None and prefetch
+            else None
+        )
         self.pipeline = CorpusPipeline(
             sample_corpus=self.sample_corpus,
             num_nodes=view.num_nodes,
@@ -96,19 +122,53 @@ class SingleViewTrainer:
     def sample_corpus(self) -> WalkCorpus:
         """One round of walks under the degree-based count policy.
 
+        Serial without a runtime (the determinism-golden path); with one,
+        walks fan out over the worker pool under the per-draw seed
+        stream, optionally taken from the prefetcher's double buffer.
         The corpus is kept around so :meth:`evaluate_loss` can score
         monitoring pairs without resampling the whole view.
         """
-        self._last_corpus = build_corpus(
-            self.view,
-            self.walker,
-            length=self.walk_length,
-            floor=self.walk_floor,
-            cap=self.walk_cap,
-            rng=self.rng,
-            count_scale=self.walk_scale,
-        )
+        if self.parallel is None:
+            self._last_corpus = build_corpus(
+                self.view,
+                self.walker,
+                length=self.walk_length,
+                floor=self.walk_floor,
+                cap=self.walk_cap,
+                rng=self.rng,
+                count_scale=self.walk_scale,
+            )
+        elif self._prefetcher is not None:
+            self._last_corpus = self._prefetcher.corpus(self._draws)
+            self._draws += 1
+        else:
+            self._last_corpus = self._corpus_task(self._draws)()
+            self._draws += 1
         return self._last_corpus
+
+    def _corpus_task(self, draw: int):
+        """A zero-arg builder of draw ``draw``'s corpus.
+
+        Called on the training thread at schedule time, so the balancer's
+        current ``walk_scale`` is captured here — the returned closure
+        reads no trainer state and can run on a prefetch thread.
+        """
+        count_scale = self.walk_scale
+        seed_seq = single_view_seed(self.seed, self.view_code, draw)
+
+        def build() -> WalkCorpus:
+            return self.parallel.build_corpus(
+                self.view,
+                self.policy,
+                length=self.walk_length,
+                floor=self.walk_floor,
+                cap=self.walk_cap,
+                count_scale=count_scale,
+                seed_seq=seed_seq,
+                label=f"single_view/{self.view.edge_type}",
+            )
+
+        return build
 
     def bind_metrics(self, metrics: MetricsRegistry) -> None:
         """Route this view's metrics (and the inner SGNS trainer's
@@ -117,6 +177,8 @@ class SingleViewTrainer:
         self.metrics = metrics
         self.trainer.metrics = metrics
         self.trainer.metric_prefix = f"single_view/{self.view.edge_type}/"
+        self.pipeline.metrics = metrics
+        self.pipeline.metric_prefix = f"single_view/{self.view.edge_type}/"
 
     def train_epoch(self, lr: float) -> float:
         """One pass (lines 4-7 of Algorithm 1): returns the mean SGNS loss."""
@@ -149,6 +211,7 @@ class SingleViewTrainer:
             "skipgram": self.trainer.state_dict(),
             "pipeline": self.pipeline.state_dict(),
             "walk_scale": self.walk_scale,
+            "corpus_draws": self._draws,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -156,6 +219,11 @@ class SingleViewTrainer:
         self.pipeline.load_state_dict(state["pipeline"])
         # pre-balancer checkpoints lack the key; the neutral scale is 1
         self.walk_scale = float(state.get("walk_scale", 1.0))
+        # pre-parallel checkpoints lack the draw clock; 0 matches their
+        # serial path, which never reads it
+        self._draws = int(state.get("corpus_draws", 0))
+        if self._prefetcher is not None:
+            self._prefetcher.reset()  # any in-flight draw is now stale
         self._last_corpus = None
 
     def _monitoring_corpus(self, num_pairs: int) -> WalkCorpus:

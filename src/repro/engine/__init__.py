@@ -26,8 +26,17 @@ the same three pieces:
   versioned JSON file — all zero-cost via the :data:`NULL_REGISTRY` /
   :data:`NULL_TRACER` no-op singletons when nothing asks for a report.
 
-This is the seam where instrumentation, scheduling, and future
-parallelism work plug in once and apply to every method.
+- a **parallel layer** (see ``docs/parallelism.md``): the
+  :class:`ParallelRuntime` fans corpus generation across a process pool
+  over shared-memory CSR arrays (:class:`SharedCSR`), trains
+  view-disjoint cross-view pairs concurrently (:func:`conflict_waves`),
+  and overlaps next-epoch sampling with training
+  (:class:`PrefetchingSampler`) — all behind the same
+  :class:`BatchSource` protocol, with ``workers=0`` bit-identical to
+  the serial path.
+
+This is the seam where instrumentation, scheduling, and parallelism
+plug in once and apply to every method.
 """
 
 from repro.engine.callbacks import (
@@ -69,6 +78,18 @@ from repro.engine.observability import (
     Tracer,
     load_report,
 )
+from repro.engine.parallel import (
+    CROSS_VIEW_TAG,
+    SINGLE_VIEW_TAG,
+    ParallelRuntime,
+    PrefetchingSampler,
+    SharedCSR,
+    SharedCSRSpec,
+    attach_shared_csr,
+    conflict_waves,
+    pair_rng,
+    single_view_seed,
+)
 from repro.engine.pipeline import (
     BatchSource,
     CorpusPipeline,
@@ -78,6 +99,7 @@ from repro.engine.pipeline import (
 
 __all__ = [
     "BatchSource",
+    "CROSS_VIEW_TAG",
     "Callback",
     "CallablePhase",
     "Checkpoint",
@@ -97,19 +119,28 @@ __all__ = [
     "NullTracer",
     "NumericalHealthError",
     "NumericalHealthGuard",
+    "ParallelRuntime",
     "Phase",
     "PhaseTimer",
+    "PrefetchingSampler",
     "ProgressReporter",
     "RelationBalancer",
     "RunReport",
+    "SINGLE_VIEW_TAG",
+    "SharedCSR",
+    "SharedCSRSpec",
     "SkipGramBatch",
     "SkipGramPhase",
     "Span",
     "Tracer",
     "TrainingLoop",
     "TrainingState",
+    "attach_shared_csr",
+    "conflict_waves",
     "dump_state",
     "load_report",
     "load_state",
     "non_finite_entries",
+    "pair_rng",
+    "single_view_seed",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 import tracemalloc
 from collections import deque
@@ -123,6 +124,11 @@ class MetricsRegistry:
     metrics (gradient norms, uniqueness fractions) — the
     :class:`NullRegistry` reports ``enabled = False`` so instrumented
     code can skip that work entirely when nobody is observing.
+
+    All record operations are thread-safe (one registry lock around each
+    dict mutation): the parallel execution layer reports per-worker
+    timers, prefetch gauges, and per-pair cross-view metrics from
+    concurrent threads into one registry.
     """
 
     enabled = True
@@ -145,22 +151,26 @@ class MetricsRegistry:
         self.events: list[dict[str, Any]] = []
         self.dropped_events = 0
         self._event_seq = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` (default 1) to the monotonic counter ``name``."""
-        self.counters[name] = self.counters.get(name, 0.0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to its latest ``value``."""
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Append ``value`` to the bounded series ``name``."""
-        series = self._series.get(name)
-        if series is None:
-            series = self._series[name] = _Series(self.max_series_points)
-        series.add(float(value))
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series(self.max_series_points)
+            series.add(float(value))
 
     @contextmanager
     def timer(
@@ -172,26 +182,37 @@ class MetricsRegistry:
             yield
         finally:
             elapsed = clock() - start
+            self.record_seconds(name, elapsed)
+
+    def record_seconds(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into timer ``name``.
+
+        The parallel layer measures work inside pool processes and
+        reports the elapsed seconds back; this folds them into the same
+        aggregates :meth:`timer` feeds.
+        """
+        with self._lock:
             stat = self._timers.get(name)
             if stat is None:
                 stat = self._timers[name] = _Timer()
-            stat.add(elapsed)
+            stat.add(seconds)
 
     def event(self, kind: str, message: str = "", **data: Any) -> None:
         """Record a discrete event (bounded log; extras only counted)."""
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                self._event_seq += 1
+                return
+            self.events.append(
+                {
+                    "seq": self._event_seq,
+                    "kind": kind,
+                    "message": message,
+                    "data": data,
+                }
+            )
             self._event_seq += 1
-            return
-        self.events.append(
-            {
-                "seq": self._event_seq,
-                "kind": kind,
-                "message": message,
-                "data": data,
-            }
-        )
-        self._event_seq += 1
 
     def series_values(self, name: str) -> list[float]:
         """The retained tail of series ``name`` ([] when absent)."""
@@ -203,7 +224,15 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """Everything recorded so far, as a JSON-serializable dict."""
+        """Everything recorded so far, as a JSON-serializable dict.
+
+        Taken under the registry lock so a snapshot during an active
+        parallel phase never sees a half-updated timer or series.
+        """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),

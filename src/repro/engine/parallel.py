@@ -1,0 +1,655 @@
+"""Parallel training runtime: shared-memory corpus workers, concurrent
+cross-view waves, and an async prefetch pipeline.
+
+Algorithm 1's two phases are embarrassingly parallel along different
+axes, and this module exploits both without touching the training math:
+
+1. **Corpus generation** (the single-view phase's dominant cost) fans
+   out across a :class:`~concurrent.futures.ProcessPoolExecutor`.  The
+   flat CSR arrays of a view are published once into named
+   :mod:`multiprocessing.shared_memory` segments (:class:`SharedCSR`);
+   workers attach by name in O(ms) and mount a *detached*
+   :class:`~repro.graph.csr.CSRAdjacency` directly over the shared
+   buffers — no graph object ever crosses a process boundary, and walk
+   policies travel as few-hundred-byte rebuild-from-spec pickles
+   (:meth:`~repro.walks.policies.WalkPolicy.__reduce__`).
+
+2. **Cross-view dual learning** trains view-pairs concurrently in
+   threads.  Pairs sharing a view would race on the shared embedding
+   matrix, so :func:`conflict_waves` greedily colors the pair list into
+   waves of view-disjoint pairs; within a wave every trainer touches
+   disjoint translators, embeddings and optimizer rows, and NumPy
+   releases the GIL on the heavy ops.
+
+3. **Prefetch** (:class:`PrefetchingSampler`) double-buffers corpora:
+   while epoch ``t`` trains, epoch ``t+1``'s corpus builds in a
+   background thread that feeds the same process pool.
+
+Determinism contract
+--------------------
+``workers=0`` never constructs a runtime — the serial path is untouched
+and stays bit-identical to the determinism goldens.  For ``workers=N``
+every random draw derives from a :class:`numpy.random.SeedSequence`
+keyed on ``(seed, phase tag, view/pair id, draw index)`` — never on
+worker identity, thread schedule, or wall clock — so a fixed ``N``
+reproduces exactly across runs, machines, and pool-vs-fallback
+execution.  Prefetch changes *when* a corpus is built, not its seeds,
+so it does not change results (the one documented exception: relation
+balancing scales are captured at schedule time, one epoch early — see
+``docs/parallelism.md``).
+
+If the process pool dies mid-build (a worker segfaults or is OOM-killed)
+the runtime logs a ``parallel/fallback`` event and replays the exact
+shard computations in-process with the same per-shard seeds, producing a
+bit-identical corpus; the pool is not retried afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.observability import MetricsRegistry, NullRegistry
+from repro.graph.csr import CSRAdjacency, csr_adjacency
+from repro.graph.heterograph import HeteroGraph
+from repro.graph.views import View
+from repro.walks.batched import LockstepWalker
+from repro.walks.corpus import WalkCorpus, walk_start_nodes
+from repro.walks.policies import WalkPolicy, _resolve_graph
+
+#: SeedSequence phase tags — keep single-view and cross-view streams
+#: disjoint even when a view code and a pair index collide numerically.
+SINGLE_VIEW_TAG = 1
+CROSS_VIEW_TAG = 2
+
+#: every optional CSR column a policy may declare in ``required_columns``
+KNOWN_COLUMNS = frozenset(
+    {"alias", "node_types", "slot_types", "edge_keys", "slot_edge_types"}
+)
+
+
+def single_view_seed(
+    seed: int, view_code: int, draw: int
+) -> np.random.SeedSequence:
+    """The root seed of one view's ``draw``-th corpus build."""
+    return np.random.SeedSequence((seed, SINGLE_VIEW_TAG, view_code, draw))
+
+
+def pair_rng(seed: int, pair_index: int, step: int) -> np.random.Generator:
+    """The generator driving one view-pair's ``step``-th cross-view epoch."""
+    return np.random.default_rng(
+        np.random.SeedSequence((seed, CROSS_VIEW_TAG, pair_index, step))
+    )
+
+
+# ----------------------------------------------------------------------
+# shared-memory CSR publication / attachment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedCSRSpec:
+    """Picklable recipe for attaching a published CSR in a worker.
+
+    ``fields`` maps :meth:`CSRAdjacency.from_arrays` array kwargs (plus
+    the ``alias_prob``/``alias_local`` pair) to
+    ``(segment name, dtype str, shape)``; ``meta`` carries the non-array
+    kwargs (type-name tuples).  ``token`` keys the worker-side attach
+    cache so each worker process attaches a given publication once.
+    """
+
+    token: str
+    fields: dict[str, tuple[str, str, tuple[int, ...]]]
+    meta: dict[str, tuple[str, ...]]
+    is_heter: bool = False
+
+
+class SharedCSR:
+    """Owner-side publication of one CSR into shared-memory segments.
+
+    Publishes the six core arrays plus exactly the optional columns in
+    ``columns`` (a :attr:`WalkPolicy.required_columns` set), so workers
+    never rebuild alias tables or type columns.  The owner keeps its
+    resource-tracker registration and must :meth:`close` (unlink) the
+    segments when done; :class:`ParallelRuntime` does this on shutdown.
+    """
+
+    def __init__(
+        self,
+        csr: CSRAdjacency,
+        columns: frozenset[str] = frozenset(),
+        is_heter: bool = False,
+    ) -> None:
+        unknown = frozenset(columns) - KNOWN_COLUMNS
+        if unknown:
+            raise ValueError(
+                f"unknown CSR columns {sorted(unknown)}; "
+                f"known: {sorted(KNOWN_COLUMNS)}"
+            )
+        self.columns = frozenset(columns)
+        self._segments: list[shared_memory.SharedMemory] = []
+        fields: dict[str, tuple[str, str, tuple[int, ...]]] = {}
+        meta: dict[str, tuple[str, ...]] = {}
+
+        def publish(kwarg: str, array: np.ndarray) -> None:
+            array = np.ascontiguousarray(array)
+            # zero-length arrays still need a 1-byte segment to exist
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(array.nbytes, 1)
+            )
+            self._segments.append(shm)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            fields[kwarg] = (shm.name, array.dtype.str, array.shape)
+
+        try:
+            for name in CSRAdjacency.CORE_FIELDS:
+                publish(name, getattr(csr, name))
+            if "alias" in self.columns:
+                prob, local = csr.alias_tables()
+                publish("alias_prob", prob)
+                publish("alias_local", local)
+            if self.columns & {"node_types", "slot_types"}:
+                publish("node_type_codes", csr.node_type_codes)
+                meta["type_names"] = tuple(csr.type_names)
+            if "slot_types" in self.columns:
+                publish("slot_type_codes", csr.slot_type_codes)
+            if "edge_keys" in self.columns:
+                publish("edge_keys", csr.edge_keys)
+            if "slot_edge_types" in self.columns:
+                publish("slot_edge_type_codes", csr.slot_edge_type_codes)
+                meta["edge_type_names"] = tuple(csr.edge_type_names)
+        except BaseException:
+            self.close()
+            raise
+        self.spec = SharedCSRSpec(
+            token=uuid.uuid4().hex,
+            fields=fields,
+            meta=meta,
+            is_heter=is_heter,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes published (for gauges and tests)."""
+        return sum(shm.size for shm in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+#: worker-process cache: publication token -> attached detached CSR
+_ATTACHED: dict[str, CSRAdjacency] = {}
+
+
+def attach_shared_csr(
+    spec: SharedCSRSpec, unregister: bool = True
+) -> CSRAdjacency:
+    """Mount a detached :class:`CSRAdjacency` over a publication's segments.
+
+    Each process attaches a given ``spec.token`` once and caches the
+    result; subsequent tasks over the same publication reuse it.
+
+    ``unregister`` handles bpo-38119 — attaching registers the segment
+    with a resource tracker, which on worker exit would unlink segments
+    the owner still needs.  It must be ``True`` exactly when this
+    process runs its *own* tracker (spawn-started workers) and ``False``
+    when the tracker is inherited from the owner (fork/forkserver):
+    there the cache is shared, and unregistering here would strip the
+    owner's registration and make its later ``unlink()`` double-
+    unregister.  :class:`ParallelRuntime` passes the right value for its
+    start method; the owner's :meth:`SharedCSR.close` remains the single
+    point of unlink either way.
+    """
+    csr = _ATTACHED.get(spec.token)
+    if csr is not None:
+        return csr
+    segments: list[shared_memory.SharedMemory] = []
+    arrays: dict[str, np.ndarray] = {}
+    for kwarg, (name, dtype, shape) in spec.fields.items():
+        shm = shared_memory.SharedMemory(name=name)
+        if unregister:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        segments.append(shm)
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        array.flags.writeable = False  # workers must never mutate the graph
+        arrays[kwarg] = array
+    alias = None
+    if "alias_prob" in arrays:
+        alias = (arrays.pop("alias_prob"), arrays.pop("alias_local"))
+    csr = CSRAdjacency.from_arrays(**arrays, alias=alias, **spec.meta)
+    # keep the segment objects alive as long as the adjacency: their
+    # buffers back every array above
+    csr._shm_segments = segments
+    _ATTACHED[spec.token] = csr
+    return csr
+
+
+# ----------------------------------------------------------------------
+# worker task (top-level so it pickles under any start method)
+# ----------------------------------------------------------------------
+def _walk_shard(
+    spec: SharedCSRSpec,
+    policy: WalkPolicy,
+    shard: np.ndarray,
+    length: int,
+    seed: np.random.SeedSequence,
+    unregister: bool,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Walk one contiguous shard of start nodes; runs inside a worker.
+
+    ``policy`` arrives unbound (rebuild-from-spec pickle) and binds to
+    the attached shared-memory adjacency.  Returns the dense walk
+    matrix, the per-walk lengths, and the elapsed wall seconds (folded
+    into per-worker timers by the parent).
+    """
+    begin = time.perf_counter()
+    csr = attach_shared_csr(spec, unregister=unregister)
+    walker = LockstepWalker(
+        csr, policy, rng=np.random.default_rng(seed), is_heter=spec.is_heter
+    )
+    matrix, lengths = walker.walk_batch(shard, length)
+    return matrix, lengths, time.perf_counter() - begin
+
+
+def _walk_shard_local(
+    csr: CSRAdjacency,
+    policy: WalkPolicy,
+    shard: np.ndarray,
+    length: int,
+    seed: np.random.SeedSequence,
+    is_heter: bool,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """The in-process twin of :func:`_walk_shard` (fallback path).
+
+    Uses the *original* bound policy and the owner's real adjacency —
+    never a spec attach, which in the owning process would wrongly
+    unregister the legitimate resource-tracker registration.  Seeds and
+    shard are identical, so the output is bit-identical to the pool's.
+    """
+    begin = time.perf_counter()
+    walker = LockstepWalker(
+        csr, policy, rng=np.random.default_rng(seed), is_heter=is_heter
+    )
+    matrix, lengths = walker.walk_batch(shard, length)
+    return matrix, lengths, time.perf_counter() - begin
+
+
+def _ping() -> bool:
+    """Warm-up task: forces the pool to launch its workers eagerly."""
+    return True
+
+
+# ----------------------------------------------------------------------
+# cross-view wave scheduling
+# ----------------------------------------------------------------------
+def conflict_waves(keys: Sequence[tuple[Any, Any]]) -> list[list[int]]:
+    """Greedily color pair keys into waves of view-disjoint pairs.
+
+    ``keys[i]`` is the ``(edge_type_i, edge_type_j)`` key of pair ``i``;
+    two pairs sharing either view must not train concurrently (they
+    would race on the shared per-view embedding matrix).  Returns index
+    waves in first-fit order — deterministic for a fixed key list, and
+    every wave's pairs touch pairwise-disjoint views.
+    """
+    waves: list[tuple[list[int], set]] = []
+    for index, (a, b) in enumerate(keys):
+        for members, used in waves:
+            if a not in used and b not in used:
+                members.append(index)
+                used.update((a, b))
+                break
+        else:
+            waves.append(([index], {a, b}))
+    return [members for members, _ in waves]
+
+
+# ----------------------------------------------------------------------
+# the runtime
+# ----------------------------------------------------------------------
+class ParallelRuntime:
+    """Owns the worker pool, shared-memory publications, and thread pools.
+
+    One runtime serves a whole model fit.  The process pool is launched
+    *eagerly* in ``__init__`` — on fork platforms the workers must be
+    forked from the main thread before any prefetch/wave threads exist
+    (forking a multithreaded process can inherit held locks).
+    """
+
+    def __init__(
+        self, workers: int, metrics: MetricsRegistry | None = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._metrics = metrics if metrics is not None else NullRegistry()
+        # prefer fork: workers inherit the warm interpreter and attach
+        # shared memory without re-importing the world
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_context()
+        )
+        # spawn workers run their own resource tracker and must drop the
+        # attach-side registration (bpo-38119); fork workers share the
+        # owner's tracker, where dropping it would be a double-unregister
+        self._attach_unregister = context.get_start_method() == "spawn"
+        # start the resource tracker BEFORE forking: children must
+        # inherit the live tracker fd, or each would lazily spawn its
+        # own tracker on first attach and warn about "leaked" segments
+        # (actually the owner's) when it exits
+        resource_tracker.ensure_running()
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        )
+        self._pool.submit(_ping).result()  # fork/spawn workers now
+        self._wave_pool: ThreadPoolExecutor | None = None
+        self._prefetch_pool: ThreadPoolExecutor | None = None
+        #: id(csr) -> (csr, SharedCSR); the csr reference keeps the id valid
+        self._shared: dict[int, tuple[CSRAdjacency, SharedCSR]] = {}
+        self._pool_broken = False
+        self._closed = False
+        self._metrics.gauge("parallel/workers", self.workers)
+
+    # -- plumbing ------------------------------------------------------
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Point the runtime's instrumentation at a live registry."""
+        self._metrics = metrics
+        self._metrics.gauge("parallel/workers", self.workers)
+
+    @property
+    def pool_broken(self) -> bool:
+        """Whether a crash demoted corpus builds to in-process mode."""
+        return self._pool_broken
+
+    def _shared_for(
+        self, csr: CSRAdjacency, columns: frozenset[str], is_heter: bool
+    ) -> SharedCSR:
+        """Get-or-create the publication of ``csr`` covering ``columns``."""
+        key = id(csr)
+        entry = self._shared.get(key)
+        if entry is not None and entry[0] is csr:
+            if entry[1].columns >= columns:
+                return entry[1]
+            columns = columns | entry[1].columns  # widen, then republish
+        if entry is not None:
+            entry[1].close()
+        shared = SharedCSR(csr, columns=columns, is_heter=is_heter)
+        self._shared[key] = (csr, shared)
+        self._metrics.gauge(
+            "parallel/shared_bytes",
+            sum(pub.nbytes for _, pub in self._shared.values()),
+        )
+        return shared
+
+    def _wave_executor(self) -> ThreadPoolExecutor:
+        if self._wave_pool is None:
+            self._wave_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="transn-wave"
+            )
+        return self._wave_pool
+
+    def _prefetch_executor(self) -> ThreadPoolExecutor:
+        if self._prefetch_pool is None:
+            self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="transn-prefetch"
+            )
+        return self._prefetch_pool
+
+    # -- corpus generation ---------------------------------------------
+    def build_corpus(
+        self,
+        view_or_graph: View | HeteroGraph,
+        policy: WalkPolicy,
+        *,
+        length: int,
+        floor: int = 10,
+        cap: int = 32,
+        walks_per_node_override: int | None = None,
+        count_scale: float = 1.0,
+        seed_seq: np.random.SeedSequence,
+        label: str = "corpus",
+    ) -> WalkCorpus:
+        """Sample one corpus with the start law of ``walks.build_corpus``.
+
+        Starts are computed once in the parent (identical to the serial
+        law), split into ``workers`` contiguous shards, and walked
+        concurrently.  ``seed_seq`` spawns ``workers + 1`` children —
+        shard ``k`` always consumes child ``k`` (even when its shard is
+        empty and never submitted) and the final child shuffles the
+        assembled corpus, so the result depends only on ``seed_seq`` and
+        the worker count, not on scheduling.
+        """
+        if length < 2:
+            raise ValueError(f"walk length must be >= 2, got {length}")
+        graph, is_heter = _resolve_graph(view_or_graph)
+        csr = csr_adjacency(graph)
+        policy = policy.bind(view_or_graph)
+        starts = walk_start_nodes(
+            csr.degrees,
+            policy=policy,
+            floor=floor,
+            cap=cap,
+            walks_per_node_override=walks_per_node_override,
+            count_scale=count_scale,
+        )
+        # stateless spawn: SeedSequence.spawn() advances an internal
+        # child counter, so reusing a seed_seq would silently change the
+        # draw — derive children by spawn_key instead (bit-identical to
+        # .spawn() on a fresh sequence)
+        children = [
+            np.random.SeedSequence(
+                entropy=seed_seq.entropy,
+                spawn_key=seed_seq.spawn_key + (k,),
+            )
+            for k in range(self.workers + 1)
+        ]
+        shards = np.array_split(starts, self.workers)
+        results: list[tuple[np.ndarray, np.ndarray] | None]
+        results = [None] * self.workers
+        use_pool = not self._pool_broken
+        if use_pool:
+            shared = self._shared_for(
+                csr, policy.required_columns, is_heter
+            )
+            futures = {}
+            try:
+                for k, shard in enumerate(shards):
+                    if shard.size == 0:
+                        continue  # child seed k stays reserved regardless
+                    futures[k] = self._pool.submit(
+                        _walk_shard,
+                        shared.spec,
+                        policy,
+                        shard,
+                        length,
+                        children[k],
+                        self._attach_unregister,
+                    )
+                for k, future in futures.items():
+                    matrix, lengths, elapsed = future.result()
+                    results[k] = (matrix, lengths)
+                    self._metrics.record_seconds(
+                        f"parallel/worker/{k}/seconds", elapsed
+                    )
+            except BrokenProcessPool:
+                self._pool_broken = True
+                use_pool = False
+                results = [None] * self.workers
+                self._metrics.counter("parallel/fallback")
+                self._metrics.event(
+                    "parallel/fallback",
+                    "worker pool broke; replaying shards in-process",
+                    label=label,
+                )
+        if not use_pool:
+            for k, shard in enumerate(shards):
+                if shard.size == 0:
+                    continue
+                matrix, lengths, elapsed = _walk_shard_local(
+                    csr, policy, shard, length, children[k], is_heter
+                )
+                results[k] = (matrix, lengths)
+                self._metrics.record_seconds(
+                    f"parallel/worker/{k}/seconds", elapsed
+                )
+        parts = [part for part in results if part is not None]
+        if parts:
+            matrix = np.concatenate([m for m, _ in parts])
+            lengths = np.concatenate([ln for _, ln in parts])
+        else:
+            matrix = np.empty((0, length), dtype=np.int64)
+            lengths = np.empty(0, dtype=np.int64)
+        order = np.random.default_rng(children[-1]).permutation(
+            matrix.shape[0]
+        )
+        self._metrics.counter("parallel/corpus_builds")
+        self._metrics.observe(f"parallel/{label}/walks", matrix.shape[0])
+        return WalkCorpus(matrix[order], lengths[order], length, graph)
+
+    # -- cross-view waves ----------------------------------------------
+    def train_pairs(
+        self,
+        trainers: Sequence[Any],
+        rngs: Sequence[np.random.Generator],
+    ) -> list[Any]:
+        """Run every pair trainer's epoch, view-disjoint pairs concurrently.
+
+        ``rngs[i]`` drives trainer ``i`` (one spawned stream per pair per
+        step — see :func:`pair_rng`), which makes the outcome independent
+        of the thread schedule.  Returns each ``train_epoch`` result in
+        trainer order.
+        """
+        if len(trainers) != len(rngs):
+            raise ValueError(
+                f"{len(trainers)} trainers but {len(rngs)} rngs"
+            )
+        results: list[Any] = [None] * len(trainers)
+        waves = conflict_waves([t.pair.key for t in trainers])
+        for wave in waves:
+            if len(wave) == 1:
+                i = wave[0]
+                results[i] = trainers[i].train_epoch(rng=rngs[i])
+                continue
+            pool = self._wave_executor()
+            with self._metrics.timer("parallel/cross_view/wave_seconds"):
+                futures = [
+                    (i, pool.submit(trainers[i].train_epoch, rng=rngs[i]))
+                    for i in wave
+                ]
+                for i, future in futures:
+                    results[i] = future.result()
+            self._metrics.observe(
+                "parallel/cross_view/wave_width", len(wave)
+            )
+        self._metrics.gauge("parallel/cross_view/waves", len(waves))
+        return results
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the pools and unlink every shared segment (idempotent).
+
+        Order matters: prefetch threads feed the process pool, so they
+        drain first; segments unlink last, once nothing can attach.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._prefetch_pool is not None:
+            self._prefetch_pool.shutdown(wait=True, cancel_futures=True)
+            self._prefetch_pool = None
+        if self._wave_pool is not None:
+            self._wave_pool.shutdown(wait=True)
+            self._wave_pool = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        for _, publication in self._shared.values():
+            publication.close()
+        self._shared.clear()
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# async prefetch
+# ----------------------------------------------------------------------
+class PrefetchingSampler:
+    """Double-buffers corpus builds behind the training loop.
+
+    ``make_task(t)`` is called on the *consumer's* thread at schedule
+    time and must return a zero-argument closure producing draw ``t``'s
+    corpus — anything epoch-dependent (e.g. the relation balancer's
+    ``count_scale``) is captured then, so the background build reads no
+    trainer state.  Because every build is seeded by its draw index, a
+    prefetched corpus is identical to one built on demand; prefetching
+    changes wall-clock overlap, never results.
+    """
+
+    def __init__(
+        self,
+        runtime: ParallelRuntime,
+        make_task: Callable[[int], Callable[[], WalkCorpus]],
+    ) -> None:
+        self._runtime = runtime
+        self._make_task = make_task
+        self._pending: tuple[int, Any] | None = None
+
+    @property
+    def next_index(self) -> int | None:
+        """The draw index currently building in the background, if any."""
+        return None if self._pending is None else self._pending[0]
+
+    def corpus(self, index: int) -> WalkCorpus:
+        """Corpus for draw ``index``; schedules draw ``index + 1``.
+
+        A pending build for ``index`` is consumed (hit); a pending build
+        for any other draw — after a checkpoint restore rewound the
+        clock, say — is discarded and the corpus is built synchronously
+        (miss).
+        """
+        pending, self._pending = self._pending, None
+        metrics = self._runtime._metrics
+        if pending is not None and pending[0] == index:
+            corpus = pending[1].result()
+            metrics.counter("parallel/prefetch/hits")
+        else:
+            if pending is not None:
+                pending[1].cancel()
+                metrics.counter("parallel/prefetch/misses")
+            corpus = self._make_task(index)()
+        metrics.gauge("parallel/prefetch/depth", 0)
+        self._schedule(index + 1)
+        return corpus
+
+    def _schedule(self, index: int) -> None:
+        task = self._make_task(index)  # capture epoch state on this thread
+        self._pending = (
+            index,
+            self._runtime._prefetch_executor().submit(task),
+        )
+        self._runtime._metrics.gauge("parallel/prefetch/depth", 1)
+
+    def reset(self) -> None:
+        """Discard any in-flight build (e.g. after loading a checkpoint)."""
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending[1].cancel()
+        self._runtime._metrics.gauge("parallel/prefetch/depth", 0)

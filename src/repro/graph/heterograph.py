@@ -284,6 +284,16 @@ class HeteroGraph:
             f"edge_types={sorted(self.edge_types)})"
         )
 
+    def __getstate__(self) -> dict:
+        # never serialize the cached CSRAdjacency (the attribute name is
+        # owned by repro.graph.csr, which imports this module): the cache
+        # identifies itself by graph identity, which pickling breaks, and
+        # shipping a graph must not drag flattened adjacency/alias arrays
+        # along — workers rebuild or attach via shared memory instead
+        state = dict(self.__dict__)
+        state.pop("_csr_adjacency_cache", None)
+        return state
+
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------

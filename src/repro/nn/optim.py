@@ -31,12 +31,16 @@ def gradient_norm(grads: Iterable[np.ndarray | None]) -> float:
     this can be fed ``param.grad`` straight off an optimizer's parameter
     list.  Used by the observability layer to report per-phase gradient
     magnitudes without each trainer re-deriving the reduction.
+
+    Each array reduces in its own dtype — a float32 gradient must not be
+    silently copied up to float64 just to be measured (the accumulator is
+    a Python float either way).
     """
     total = 0.0
     for grad in grads:
         if grad is None:
             continue
-        array = np.asarray(grad, dtype=np.float64)
+        array = np.asarray(grad)
         total += float(np.dot(array.ravel(), array.ravel()))
     return float(np.sqrt(total))
 

@@ -42,24 +42,39 @@ from repro.walks.policies import (
     _resolve_graph,
 )
 
-from repro.graph.csr import csr_adjacency
+from repro.graph.csr import CSRAdjacency, csr_adjacency
 
 PAD = -1
 """Fill value of walk-matrix slots past a walk's end."""
 
 
 class LockstepWalker:
-    """Executes any :class:`WalkPolicy` over batches of walks in lockstep."""
+    """Executes any :class:`WalkPolicy` over batches of walks in lockstep.
+
+    Besides views/graphs, the engine also mounts directly on a (possibly
+    detached, shared-memory-backed) :class:`CSRAdjacency` — the parallel
+    workers' path, where no graph object exists.  ``is_heter`` only
+    matters for that form (views carry their own flag).
+    """
 
     def __init__(
         self,
-        view_or_graph: View | HeteroGraph,
+        view_or_graph: View | HeteroGraph | CSRAdjacency,
         policy: WalkPolicy,
         rng: np.random.Generator | None = None,
+        is_heter: bool | None = None,
     ) -> None:
-        self.graph, self._is_heter = _resolve_graph(view_or_graph)
-        self._csr = csr_adjacency(self.graph)
-        self.policy = policy.bind(view_or_graph)
+        if isinstance(view_or_graph, CSRAdjacency):
+            self._csr = view_or_graph
+            self.graph = view_or_graph.graph
+            self._is_heter = bool(is_heter) if is_heter is not None else False
+            self.policy = policy.bind_csr(
+                view_or_graph, is_heter=self._is_heter
+            )
+        else:
+            self.graph, self._is_heter = _resolve_graph(view_or_graph)
+            self._csr = csr_adjacency(self.graph)
+            self.policy = policy.bind(view_or_graph)
         self.rng = rng or np.random.default_rng()
 
     def _start_state(
@@ -78,7 +93,10 @@ class LockstepWalker:
         return matrix, lengths, starts.copy(), active
 
     def walk_batch(
-        self, starts: np.ndarray, length: int
+        self,
+        starts: np.ndarray,
+        length: int,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Advance ``starts.size`` walks of the bound policy in lockstep.
 
@@ -87,6 +105,9 @@ class LockstepWalker:
             length: nodes per walk.  Walks end early at neighbour-less
                 nodes or when the policy reports no admissible
                 transition (``STUCK``), mirroring the scalar walkers.
+            rng: draw from this generator instead of the walker's own —
+                the parallel layer threads per-task spawned streams
+                through here so concurrent batches stay deterministic.
 
         Returns:
             ``(matrix, lengths)`` — the ``(num_walks, length)`` index
@@ -94,6 +115,7 @@ class LockstepWalker:
         """
         csr = self._csr
         policy = self.policy
+        draw_rng = self.rng if rng is None else rng
         matrix, lengths, current, active = self._start_state(starts, length)
         state = policy.init_state(
             np.ascontiguousarray(starts, dtype=np.int64)
@@ -103,7 +125,7 @@ class LockstepWalker:
             if live.size == 0:
                 break
             here = current[live]
-            slots = policy.sample_slots(self.rng, here, live, state)
+            slots = policy.sample_slots(draw_rng, here, live, state)
             stuck = slots < 0
             if stuck.any():
                 active[live[stuck]] = False

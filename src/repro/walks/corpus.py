@@ -184,6 +184,48 @@ def extract_index_pairs(
     return np.concatenate(centers), np.concatenate(contexts)
 
 
+def walk_start_nodes(
+    degrees: np.ndarray,
+    policy: WalkPolicy | None = None,
+    floor: int = 10,
+    cap: int = 32,
+    walks_per_node_override: int | None = None,
+    count_scale: float = 1.0,
+) -> np.ndarray:
+    """The exact start-index law of :func:`build_corpus`, standalone.
+
+    Given a view's per-node degree array this applies, in order: the
+    degree-based count policy (or a fixed override), isolated-node
+    zeroing, the balancer's ``count_scale`` (keeping >= 1 walk where any
+    was due), and the policy's start restriction — and repeats each node
+    index by its final count.  The parallel corpus builder shares this
+    function with the serial path so both build byte-identical start
+    arrays before sharding.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    num_nodes = degrees.size
+    if walks_per_node_override is not None:
+        counts = np.full(num_nodes, walks_per_node_override, dtype=np.int64)
+    else:
+        counts = walk_counts(degrees, floor=floor, cap=cap)
+    counts = np.where(degrees > 0, counts, 0)  # isolated nodes start nothing
+    if count_scale != 1.0:
+        if count_scale <= 0:
+            raise ValueError(f"count_scale must be > 0, got {count_scale}")
+        counts = np.where(
+            counts > 0,
+            np.maximum(np.rint(counts * count_scale).astype(np.int64), 1),
+            0,
+        )
+    if policy is not None:
+        allowed = policy.start_indices()
+        if allowed is not None:
+            mask = np.zeros(num_nodes, dtype=bool)
+            mask[allowed] = True
+            counts = np.where(mask, counts, 0)
+    return np.repeat(np.arange(num_nodes, dtype=np.int64), counts)
+
+
 def build_corpus(
     view_or_graph: View | HeteroGraph,
     walker: Walker | BatchedWalker | WalkPolicy,
@@ -223,28 +265,14 @@ def build_corpus(
     rng = rng or np.random.default_rng()
     if isinstance(walker, WalkPolicy):
         walker = LockstepWalker(view_or_graph, walker, rng=rng)
-    degrees = csr_adjacency(graph).degrees
-    if walks_per_node_override is not None:
-        counts = np.full(graph.num_nodes, walks_per_node_override, dtype=np.int64)
-    else:
-        counts = walk_counts(degrees, floor=floor, cap=cap)
-    counts = np.where(degrees > 0, counts, 0)  # isolated nodes start nothing
-    if count_scale != 1.0:
-        if count_scale <= 0:
-            raise ValueError(f"count_scale must be > 0, got {count_scale}")
-        counts = np.where(
-            counts > 0,
-            np.maximum(np.rint(counts * count_scale).astype(np.int64), 1),
-            0,
-        )
-    policy = getattr(walker, "policy", None)
-    if policy is not None:
-        allowed = policy.start_indices()
-        if allowed is not None:
-            mask = np.zeros(graph.num_nodes, dtype=bool)
-            mask[allowed] = True
-            counts = np.where(mask, counts, 0)
-    starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), counts)
+    starts = walk_start_nodes(
+        csr_adjacency(graph).degrees,
+        policy=getattr(walker, "policy", None),
+        floor=floor,
+        cap=cap,
+        walks_per_node_override=walks_per_node_override,
+        count_scale=count_scale,
+    )
     if hasattr(walker, "walk_batch"):
         matrix, lengths = walker.walk_batch(starts, length)
         corpus = WalkCorpus(matrix, lengths, length, graph)

@@ -146,6 +146,12 @@ class WalkPolicy:
 
     name = "policy"
 
+    #: optional CSR columns the policy touches while sampling, beyond the
+    #: six core arrays — the shared-memory layer publishes exactly these
+    #: so workers never rebuild them ("alias", "node_types", "slot_types",
+    #: "edge_keys", "slot_edge_types")
+    required_columns: frozenset[str] = frozenset()
+
     def __init__(self) -> None:
         self.graph: HeteroGraph | None = None
         self.is_heter: bool = False
@@ -155,21 +161,64 @@ class WalkPolicy:
     def bind(self, view_or_graph: View | HeteroGraph) -> "WalkPolicy":
         """Attach the policy to a view/graph; idempotent per graph."""
         graph, is_heter = _resolve_graph(view_or_graph)
-        if self.graph is graph:
-            return self
-        if self.graph is not None:
+        return self._bind(graph, csr_adjacency(graph), is_heter)
+
+    def bind_csr(
+        self, csr: CSRAdjacency, is_heter: bool = False
+    ) -> "WalkPolicy":
+        """Attach the policy directly to a (possibly detached) adjacency.
+
+        The worker-side binding path of the parallel layer: the CSR
+        arrays may live in shared memory with no graph object behind
+        them.  Policies whose bind-time precomputation needs type
+        information read it from the adjacency's type columns, so a
+        detached CSR must carry them (``CSRAdjacency.from_arrays``).
+        """
+        return self._bind(csr.graph, csr, is_heter)
+
+    def _bind(
+        self,
+        graph: HeteroGraph | None,
+        csr: CSRAdjacency,
+        is_heter: bool,
+    ) -> "WalkPolicy":
+        if self._csr is not None:
+            if self._csr is csr or (
+                graph is not None and self.graph is graph
+            ):
+                return self
             raise RuntimeError(
                 f"{self.name!r} policy is already bound to a different "
                 "graph; create one policy instance per graph"
             )
         self.graph = graph
-        self.is_heter = is_heter
-        self._csr = csr_adjacency(graph)
-        self._on_bind(view_or_graph)
+        self.is_heter = bool(is_heter)
+        self._csr = csr
+        self._on_bind()
         return self
 
-    def _on_bind(self, view_or_graph: View | HeteroGraph) -> None:
-        """Hook for subclass bind-time precomputation."""
+    def _on_bind(self) -> None:
+        """Hook for subclass bind-time precomputation.
+
+        Runs with :attr:`csr` set; :attr:`graph` may be ``None`` (detached
+        worker-side binding), so hooks must read type information from the
+        adjacency's columns, not the graph.
+        """
+
+    # -- worker dispatch -----------------------------------------------
+    def spec(self) -> dict:
+        """Constructor kwargs rebuilding an equivalent *unbound* policy."""
+        return {}
+
+    def __reduce__(self):
+        """Pickle as an unbound rebuild-from-spec.
+
+        Binding state (graph, CSR arrays, alias tables) never crosses a
+        process boundary — the receiving side re-binds against its own
+        (typically shared-memory) adjacency.  This keeps worker dispatch
+        payloads a few hundred bytes regardless of graph size.
+        """
+        return (_rebuild_policy, (type(self), self.spec()))
 
     @property
     def csr(self) -> CSRAdjacency:
@@ -260,13 +309,17 @@ class BiasedCorrelatedPolicy(WalkPolicy):
     """
 
     name = "biased"
+    required_columns = frozenset({"alias"})
 
     def __init__(self, correlated: bool | None = None) -> None:
         super().__init__()
         self._correlated_arg = correlated
         self.correlated: bool = False
 
-    def _on_bind(self, view_or_graph):
+    def spec(self):
+        return {"correlated": self._correlated_arg}
+
+    def _on_bind(self):
         self.correlated = (
             self.is_heter if self._correlated_arg is None else self._correlated_arg
         )
@@ -347,6 +400,7 @@ class Node2VecPolicy(WalkPolicy):
     """
 
     name = "node2vec"
+    required_columns = frozenset({"alias", "edge_keys"})
 
     def __init__(self, p: float = 1.0, q: float = 1.0) -> None:
         super().__init__()
@@ -354,6 +408,9 @@ class Node2VecPolicy(WalkPolicy):
             raise ValueError(f"p and q must be positive, got p={p}, q={q}")
         self.p = float(p)
         self.q = float(q)
+
+    def spec(self):
+        return {"p": self.p, "q": self.q}
 
     def init_state(self, starts):
         return {"previous": np.full(starts.size, -1, dtype=np.int64)}
@@ -436,6 +493,9 @@ class HetNode2VecPolicy(Node2VecPolicy):
     """
 
     name = "het-node2vec"
+    # first-order steps are padded-cumsum draws (never alias), but the
+    # type factors gather node_type_codes and _pq_factors needs edge_keys
+    required_columns = frozenset({"edge_keys", "node_types"})
 
     def __init__(
         self, p: float = 1.0, q: float = 1.0, type_switch: float = 2.0
@@ -446,6 +506,9 @@ class HetNode2VecPolicy(Node2VecPolicy):
                 f"type_switch must be positive, got {type_switch}"
             )
         self.type_switch = float(type_switch)
+
+    def spec(self):
+        return {"p": self.p, "q": self.q, "type_switch": self.type_switch}
 
     def _switch_factors(
         self, cand: np.ndarray, current: np.ndarray
@@ -486,14 +549,14 @@ def _validate_metapath(metapath: list[str]) -> list[str]:
     return list(metapath)
 
 
-def _derive_metapath(graph: HeteroGraph) -> list[str]:
-    """A default cyclic metapath from a graph's node types.
+def _derive_metapath(type_names) -> list[str]:
+    """A default cyclic metapath from a collection of node-type names.
 
     One type -> ``[t, t]``; two types -> ``[a, b, a]`` (sorted order).
     More than two types is ambiguous — callers must pass an explicit
     metapath.
     """
-    types = sorted(graph.node_types)
+    types = sorted(type_names)
     if len(types) == 1:
         return [types[0], types[0]]
     if len(types) == 2:
@@ -521,6 +584,7 @@ class MetapathPolicy(WalkPolicy):
     """
 
     name = "metapath"
+    required_columns = frozenset({"node_types", "slot_types"})
 
     def __init__(self, metapath: list[str] | None = None) -> None:
         super().__init__()
@@ -529,15 +593,18 @@ class MetapathPolicy(WalkPolicy):
         )
         self._body_codes: np.ndarray | None = None
 
-    def _on_bind(self, view_or_graph):
+    def spec(self):
+        return {"metapath": self.metapath}
+
+    def _on_bind(self):
+        csr = self.csr
         if self.metapath is None:
-            self.metapath = _derive_metapath(self.graph)
-        unknown = set(self.metapath) - self.graph.node_types
+            self.metapath = _derive_metapath(csr.type_names)
+        unknown = set(self.metapath) - set(csr.type_names)
         if unknown:
             raise ValueError(
                 f"metapath mentions unknown node types {unknown}"
             )
-        csr = self.csr
         # the pattern body excludes the duplicated final type
         self._body_codes = np.array(
             [csr.type_code(t) for t in self.metapath[:-1]], dtype=np.int64
@@ -555,11 +622,16 @@ class MetapathPolicy(WalkPolicy):
         matches = codes[:, None] == body[None, :]
         bad = ~matches.any(axis=1)
         if bad.any():
-            offender = self.graph.node_at(int(starts[np.argmax(bad)]))
+            index = int(starts[np.argmax(bad)])
+            type_name = self.csr.type_names[int(codes[np.argmax(bad)])]
+            offender = (
+                repr(self.graph.node_at(index))
+                if self.graph is not None
+                else f"at index {index}"
+            )
             raise ValueError(
-                f"start node {offender!r} has type "
-                f"{self.graph.node_type(offender)!r}, which the metapath "
-                f"{self.metapath!r} never visits"
+                f"start node {offender} has type {type_name!r}, which "
+                f"the metapath {self.metapath!r} never visits"
             )
         return {"position": np.argmax(matches, axis=1).astype(np.int64)}
 
@@ -603,6 +675,7 @@ class SpaceyMetapathPolicy(WalkPolicy):
     """
 
     name = "spacey"
+    required_columns = frozenset({"node_types", "slot_types"})
 
     def __init__(
         self,
@@ -620,13 +693,19 @@ class SpaceyMetapathPolicy(WalkPolicy):
         self.reinforcement = float(reinforcement)
         self._successors: np.ndarray | None = None  # (T, T) admissibility
 
-    def _on_bind(self, view_or_graph):
+    def spec(self):
+        return {
+            "metapath": self.metapath,
+            "reinforcement": self.reinforcement,
+        }
+
+    def _on_bind(self):
         csr = self.csr
         num_types = len(csr.type_names)
         if self.metapath is None:
             self._successors = np.ones((num_types, num_types), dtype=bool)
             return
-        unknown = set(self.metapath) - self.graph.node_types
+        unknown = set(self.metapath) - set(csr.type_names)
         if unknown:
             raise ValueError(
                 f"metapath mentions unknown node types {unknown}"
@@ -687,6 +766,12 @@ class SpaceyMetapathPolicy(WalkPolicy):
             occupancy = np.zeros((1, len(csr.type_names)))
         factors = self._occupancy_factors(occupancy, types[None, :])[0]
         return np.where(admissible, weights * factors, 0.0)
+
+
+def _rebuild_policy(cls: type, kwargs: dict) -> WalkPolicy:
+    """Unpickle hook of :meth:`WalkPolicy.__reduce__`: a fresh unbound
+    instance from the class and its :meth:`~WalkPolicy.spec` kwargs."""
+    return cls(**kwargs)
 
 
 # ----------------------------------------------------------------------

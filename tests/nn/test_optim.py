@@ -99,3 +99,28 @@ class TestAdam:
         (p * p).sum().backward()
         opt.zero_grad()
         assert p.grad is None
+
+
+class TestGradientNorm:
+    def test_matches_manual_norm(self):
+        from repro.nn.optim import gradient_norm
+
+        grads = [np.array([3.0, 4.0]), None, np.array([[0.0]])]
+        assert gradient_norm(grads) == pytest.approx(5.0)
+
+    def test_empty_and_all_none(self):
+        from repro.nn.optim import gradient_norm
+
+        assert gradient_norm([]) == 0.0
+        assert gradient_norm([None, None]) == 0.0
+
+    def test_reduces_in_parameter_dtype(self):
+        """A float32 gradient is measured in float32 — no silent float64
+        copy of a potentially huge array just to take its norm."""
+        from repro.nn.optim import gradient_norm
+
+        grad = np.array([0.1, 0.2, 0.3], dtype=np.float32)
+        in_dtype = float(np.sqrt(float(np.dot(grad, grad))))
+        upcast = float(np.sqrt(np.dot(grad.astype(np.float64), grad.astype(np.float64))))
+        assert gradient_norm([grad]) == in_dtype
+        assert gradient_norm([grad]) != upcast

@@ -251,3 +251,31 @@ class TestLabelsParsing:
         path = tmp_path / "l.tsv"
         path.write_text("# comment\na\t1\n\nb\t2\n")
         assert _load_labels(path) == {"a": "1", "b": "2"}
+
+
+class TestParallelSurface:
+    """The --workers flag of the train subcommand, end to end."""
+
+    def test_baselines_reject_workers(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        with pytest.raises(SystemExit, match="only supported for"):
+            main([
+                "train", str(graph_path),
+                "--out", str(tmp_path / "e.txt"),
+                "--method", "line",
+                "--workers", "2",
+            ])
+
+    def test_transn_trains_with_workers(self, toy_files, tmp_path):
+        graph_path, _ = toy_files
+        out = tmp_path / "emb.txt"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(out),
+            "--method", "transn",
+            "--dim", "8",
+            "--iterations", "1",
+            "--workers", "2",
+        ]) == 0
+        embeddings = load_embeddings(out)
+        assert all(np.all(np.isfinite(v)) for v in embeddings.values())
