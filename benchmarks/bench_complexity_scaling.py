@@ -17,19 +17,52 @@ Three measurements, each isolating one variable of the bound:
 
 Log-log regression slopes are printed and asserted with generous bands
 (wall-clock on small inputs is noisy).
+
+Run as a script, this module instead measures the *memory* side of the
+complexity story: peak bytes of the corpus -> skip-gram data path, dense
+(``build_corpus`` + ``CorpusPipeline``) against streaming
+(``stream_corpus`` + ``StreamingCorpusPipeline`` under a hard budget),
+on synthetic views up to a million-plus edges.  Results land in
+``BENCH_scaling.json`` at the repository root.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_complexity_scaling.py          # full
+    PYTHONPATH=src python benchmarks/bench_complexity_scaling.py --fast   # CI smoke
+
+Fast mode shrinks the graphs to smoke-test sizes; its timings are not
+meaningful and its output should never be checked in.
 """
 
+import argparse
+import json
+import sys
 import time
+import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
-from repro.autograd import Tensor
-from repro.core.cross_view import CrossViewTrainer, similarity_loss
-from repro.core.translator import Translator
-from repro.datasets import make_app_daily
-from repro.graph import build_view_pairs, separate_views
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
 
-from conftest import FAST_MODE, emit, format_table
+from repro.autograd import Tensor  # noqa: E402
+from repro.core.cross_view import CrossViewTrainer, similarity_loss  # noqa: E402
+from repro.core.translator import Translator  # noqa: E402
+from repro.datasets import make_app_daily  # noqa: E402
+from repro.engine.pipeline import (  # noqa: E402
+    CorpusPipeline,
+    StreamingCorpusPipeline,
+    block_walks_for_budget,
+)
+from repro.graph import HeteroGraph, build_view_pairs, separate_views  # noqa: E402
+from repro.walks import LockstepWalker, build_corpus, stream_corpus  # noqa: E402
+from repro.walks.corpus import corpus_index_dtype  # noqa: E402
+from repro.walks.policies import make_policy  # noqa: E402
+
+from conftest import FAST_MODE, emit, format_table  # noqa: E402
 
 
 def _slope(xs, ys) -> float:
@@ -119,3 +152,208 @@ def test_theorem1_complexity_scaling(benchmark, results_dir):
     assert 0.6 < slopes["H"] < 1.4, slopes
     # per-path cost grows super-linearly in rho (the rho^2 d attention)
     assert slopes["rho"] > 1.2, slopes
+
+
+# ---------------------------------------------------------------------------
+# standalone mode: peak memory of the corpus data path, dense vs streaming
+# ---------------------------------------------------------------------------
+
+FULL_MEMORY_SIZES = [(20_000, 120_000), (60_000, 420_000), (160_000, 1_200_000)]
+FAST_MEMORY_SIZES = [(400, 1_600)]
+
+WALK_LENGTH = 12
+WINDOW = 2
+BATCH_SIZE = 8192
+NUM_NEGATIVES = 5
+
+
+def synthetic_heter_view(num_nodes: int, num_edges: int, seed: int):
+    """A random weighted bipartite heter-view (weights 1..5, Figure-4 style)."""
+    rng = np.random.default_rng(seed)
+    half = num_nodes // 2
+    graph = HeteroGraph()
+    for i in range(half):
+        graph.add_node(f"u{i}", "user")
+    for i in range(num_nodes - half):
+        graph.add_node(f"b{i}", "item")
+    us = rng.integers(0, half, size=num_edges)
+    vs = rng.integers(0, num_nodes - half, size=num_edges)
+    weights = rng.integers(1, 6, size=num_edges).astype(float)
+    for u, v, w in zip(us, vs, weights):
+        graph.add_edge(f"u{u}", f"b{v}", "rating", weight=float(w))
+    return separate_views(graph)[0]
+
+
+def _drain(pipeline) -> int:
+    batches = 0
+    for _ in pipeline.epoch():
+        batches += 1
+    return batches
+
+
+def measure_dense(view, seed: int) -> dict:
+    """Peak traced bytes of one dense epoch: full corpus, then batches."""
+    rng = np.random.default_rng(seed)
+    walker = LockstepWalker(view, make_policy("biased"), rng=rng)
+    walker.walk_batch(np.zeros(1, dtype=np.int64), 2)  # warm alias tables
+    tracemalloc.start()
+    start = time.perf_counter()
+    pipeline = CorpusPipeline(
+        sample_corpus=lambda: build_corpus(
+            view, walker, length=WALK_LENGTH, rng=rng
+        ),
+        num_nodes=view.num_nodes,
+        window=WINDOW,
+        num_negatives=NUM_NEGATIVES,
+        batch_size=BATCH_SIZE,
+        rng=rng,
+    )
+    batches = _drain(pipeline)
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"peak_bytes": peak, "seconds": elapsed, "batches": batches}
+
+
+def measure_streaming(view, seed: int, budget_bytes: int) -> dict:
+    """Peak traced bytes of one streaming epoch under a hard budget."""
+    rng = np.random.default_rng(seed)
+    walker = LockstepWalker(view, make_policy("biased"), rng=rng)
+    walker.walk_batch(np.zeros(1, dtype=np.int64), 2)  # warm alias tables
+    index_dtype = corpus_index_dtype(view.num_nodes)
+    block_walks = block_walks_for_budget(
+        budget_bytes,
+        length=WALK_LENGTH,
+        window=WINDOW,
+        num_negatives=NUM_NEGATIVES,
+        batch_size=BATCH_SIZE,
+        itemsize=index_dtype.itemsize,
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    pipeline = StreamingCorpusPipeline(
+        sample_blocks=lambda: stream_corpus(
+            view,
+            walker,
+            length=WALK_LENGTH,
+            rng=rng,
+            block_walks=block_walks,
+            index_dtype=index_dtype,
+        ),
+        num_nodes=view.num_nodes,
+        window=WINDOW,
+        num_negatives=NUM_NEGATIVES,
+        batch_size=BATCH_SIZE,
+        rng=rng,
+        budget_bytes=budget_bytes,
+    )
+    batches = _drain(pipeline)  # raises MemoryError if a block overflows
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "peak_bytes": peak,
+        "seconds": elapsed,
+        "batches": batches,
+        "block_walks": block_walks,
+        "peak_block_bytes": pipeline.peak_block_bytes,
+        "under_budget": pipeline.peak_block_bytes <= budget_bytes,
+        "index_dtype": str(index_dtype),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="peak memory of the corpus data path, dense vs streaming"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes for CI; timings not meaningful",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scaling.json",
+        help="output JSON path (default: BENCH_scaling.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="streaming corpus budget in MiB (default: 64 full, 2 fast)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = FAST_MEMORY_SIZES if args.fast else FULL_MEMORY_SIZES
+    budget_mb = args.budget_mb if args.budget_mb else (2.0 if args.fast else 64.0)
+    budget_bytes = int(budget_mb * 1024 * 1024)
+
+    results = []
+    for num_nodes, num_edges in sizes:
+        print(
+            f"benchmarking {num_nodes} nodes / {num_edges} edges ...",
+            flush=True,
+        )
+        view = synthetic_heter_view(num_nodes, num_edges, args.seed)
+        dense = measure_dense(view, args.seed)
+        streaming = measure_streaming(view, args.seed, budget_bytes)
+        ratio = dense["peak_bytes"] / streaming["peak_bytes"]
+        print(
+            f"  dense     peak {dense['peak_bytes'] / 2**20:9.1f} MiB"
+            f"  {dense['seconds']:7.1f}s  {dense['batches']} batches"
+        )
+        print(
+            f"  streaming peak {streaming['peak_bytes'] / 2**20:9.1f} MiB"
+            f"  {streaming['seconds']:7.1f}s  {streaming['batches']} batches"
+            f"  ({streaming['block_walks']} walks/block,"
+            f" block peak {streaming['peak_block_bytes'] / 2**20:.1f} MiB,"
+            f" under budget: {streaming['under_budget']})"
+        )
+        print(f"  peak-memory reduction {ratio:5.1f}x")
+        results.append(
+            {
+                "nodes": view.num_nodes,
+                "edges": view.num_edges,
+                "dense": dense,
+                "streaming": streaming,
+                "peak_reduction": ratio,
+            }
+        )
+
+    largest = results[-1]
+    payload = {
+        "benchmark": "scaling",
+        "fast_mode": args.fast,
+        "walk_length": WALK_LENGTH,
+        "window": WINDOW,
+        "batch_size": BATCH_SIZE,
+        "num_negatives": NUM_NEGATIVES,
+        "budget_mb": budget_mb,
+        "memory_vs_edges": {
+            "edges": [r["edges"] for r in results],
+            "dense_peak_bytes": [r["dense"]["peak_bytes"] for r in results],
+            "streaming_peak_bytes": [
+                r["streaming"]["peak_bytes"] for r in results
+            ],
+        },
+        "time_vs_edges": {
+            "edges": [r["edges"] for r in results],
+            "dense_seconds": [r["dense"]["seconds"] for r in results],
+            "streaming_seconds": [r["streaming"]["seconds"] for r in results],
+        },
+        "results": results,
+        "largest_graph": {
+            "nodes": largest["nodes"],
+            "edges": largest["edges"],
+            "peak_reduction": largest["peak_reduction"],
+            "streaming_under_budget": largest["streaming"]["under_budget"],
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

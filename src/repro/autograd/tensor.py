@@ -66,7 +66,12 @@ class Tensor:
         _parents: tuple["Tensor", ...] = (),
         _backward: Callable[[np.ndarray], None] | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        # floating dtypes pass through (float32 mode); everything else —
+        # ints, bools, python lists — lands on the float64 default
+        array = np.asarray(data)
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float64)
+        self.data = array
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad else ()
@@ -125,7 +130,7 @@ class Tensor:
                     "defined for scalar tensors"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor "
@@ -178,9 +183,15 @@ class Tensor:
     # ------------------------------------------------------------------
     # primitive ops
     # ------------------------------------------------------------------
-    @staticmethod
-    def _coerce(other) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+    def _coerce(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        # scalars adopt this tensor's dtype: a python float becomes a 0-d
+        # float64 array under plain asarray, which NEP 50 would promote a
+        # float32 operand against, silently upcasting every scalar op
+        if np.isscalar(other):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
 
     def _make(
         self,

@@ -76,6 +76,10 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
         raise SystemExit("--trace needs --report")
     walk_policy = getattr(args, "walk_policy", None)
     workers = getattr(args, "workers", 0)
+    stream = getattr(args, "stream_corpus", False)
+    corpus_budget_mb = getattr(args, "corpus_budget_mb", None)
+    spill_dir = getattr(args, "spill_dir", None)
+    dtype = getattr(args, "dtype", "float64")
     if name == "transn":
         try:
             config = TransNConfig(
@@ -85,6 +89,10 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 checkpoint_every=checkpoint_every,
                 health_policy=health_policy,
                 workers=workers,
+                stream_corpus=stream,
+                corpus_budget_mb=corpus_budget_mb,
+                spill_dir=spill_dir,
+                dtype=dtype,
                 **({} if walk_policy is None else {"walk_policy": walk_policy}),
             )
         except ValueError as error:
@@ -102,6 +110,17 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
             raise SystemExit(
                 "--workers is only supported for --method transn; "
                 "baselines sample their corpora serially"
+            )
+        if stream or corpus_budget_mb is not None or spill_dir is not None:
+            raise SystemExit(
+                "--stream-corpus/--corpus-budget-mb/--spill-dir are only "
+                "supported for --method transn; baselines materialize "
+                "their corpora"
+            )
+        if dtype != "float64":
+            raise SystemExit(
+                "--dtype is only supported for --method transn; "
+                "baselines train in float64"
             )
         if checkpoint_dir is not None:
             raise SystemExit(
@@ -275,6 +294,32 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         help="corpus-generation worker processes for TransN (0 = serial, "
         "bit-identical to the pre-parallel path; N >= 1 is deterministic "
         "per N — see docs/parallelism.md)",
+    )
+    parser.add_argument(
+        "--stream-corpus",
+        action="store_true",
+        help="TransN only: stream walk corpora as bounded blocks instead "
+        "of materializing them (docs/performance.md)",
+    )
+    parser.add_argument(
+        "--corpus-budget-mb",
+        type=float,
+        default=None,
+        help="hard peak-memory budget (MiB) for the streaming corpus data "
+        "path; needs --stream-corpus",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        help="directory for on-disk corpus spill files (record once, "
+        "mmap-replay later epochs); needs --stream-corpus",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float64",
+        help="TransN only: storage dtype of embeddings, translators, and "
+        "optimizer moments (float32 halves memory)",
     )
     parser.add_argument(
         "--verbose",

@@ -100,6 +100,29 @@ class TransNConfig:
             walk policy is not relation-balanced — under balancing a
             prefetched corpus would use a one-epoch-stale walk share,
             so it must be opted into explicitly with ``True``.
+        stream_corpus: generate each view's corpus as fixed-size walk
+            blocks consumed immediately (``docs/performance.md``): peak
+            memory is bounded by the block size instead of the corpus.
+            With ``workers=0`` and a single block per epoch (the default
+            when no budget forces smaller blocks) the batch stream is
+            bit-identical to the dense path; under a budget or with
+            workers the stream is deterministic but its own.  Training
+            infrastructure, not part of Algorithm 1.
+        corpus_budget_mb: hard peak-memory budget (MiB) for the
+            streaming data path; block sizes are derived from it
+            (:func:`repro.engine.block_walks_for_budget`) and the
+            pipeline raises if a block would exceed it.  Needs
+            ``stream_corpus=True``.
+        spill_dir: directory for on-disk corpus spill files.  The first
+            corpus draw of each view is appended block-by-block to
+            ``<spill_dir>/view<code>.spill``; later draws mmap-replay
+            the file instead of re-walking the graph.  Needs
+            ``stream_corpus=True``; conflicts with the
+            relation-balanced policy (its per-epoch walk shares need
+            fresh draws).
+        dtype: "float64" (default; the determinism-golden layout) or
+            "float32" — halves embedding, translator, and Adam-moment
+            memory at a documented loss tolerance.
         seed: RNG seed for all randomness in the model.
     """
 
@@ -136,6 +159,11 @@ class TransNConfig:
     health_policy: str | None = None
     workers: int = 0
     prefetch: bool | None = None
+
+    stream_corpus: bool = False
+    corpus_budget_mb: float | None = None
+    spill_dir: str | None = None
+    dtype: str = "float64"
 
     seed: int = 0
 
@@ -179,6 +207,40 @@ class TransNConfig:
                 "prefetch=True needs workers >= 1 (the background build "
                 f"runs on the worker pool), got workers={self.workers}"
             )
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; "
+                "expected 'float32' or 'float64'"
+            )
+        if self.corpus_budget_mb is not None:
+            require(
+                self.corpus_budget_mb > 0,
+                "corpus_budget_mb",
+                "must be > 0",
+            )
+            if not self.stream_corpus:
+                raise ValueError(
+                    "corpus_budget_mb bounds the streaming data path and "
+                    "needs stream_corpus=True"
+                )
+        if self.spill_dir is not None:
+            if not self.stream_corpus:
+                raise ValueError(
+                    "spill_dir replays streamed corpus blocks and needs "
+                    "stream_corpus=True"
+                )
+            if self.walk_policy == "relation-balanced":
+                raise ValueError(
+                    "spill_dir conflicts with walk_policy="
+                    "'relation-balanced': replayed corpora would ignore "
+                    "the per-epoch walk shares"
+                )
+        if self.stream_corpus and self.prefetch:
+            raise ValueError(
+                "prefetch=True double-buffers whole corpora and conflicts "
+                "with stream_corpus=True (blocks already overlap work); "
+                "leave prefetch unset"
+            )
         if self.walk_policy not in POLICY_NAMES:
             raise ValueError(
                 f"unknown walk_policy {self.walk_policy!r}; "
@@ -216,6 +278,20 @@ class TransNConfig:
     def resolved_walk_policy(self) -> str:
         """The effective policy name (``simple_walk`` wins as "uniform")."""
         return "uniform" if self.simple_walk else self.walk_policy
+
+    @property
+    def resolved_dtype(self):
+        """The numpy dtype every trainable array is allocated in."""
+        import numpy as np
+
+        return np.dtype(self.dtype)
+
+    @property
+    def corpus_budget_bytes(self) -> int | None:
+        """``corpus_budget_mb`` in bytes (``None`` when unset)."""
+        if self.corpus_budget_mb is None:
+            return None
+        return int(self.corpus_budget_mb * 1024 * 1024)
 
     # ------------------------------------------------------------------
     # Table V presets

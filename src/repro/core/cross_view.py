@@ -145,11 +145,15 @@ class CrossViewTrainer:
         self._walker_i = LockstepWalker(self.sub_i, policy_factory(), rng=rng)
         self._walker_j = LockstepWalker(self.sub_j, policy_factory(), rng=rng)
 
+        # translators live in the embedding dtype (float32 mode follows
+        # the matrices); the RNG draws themselves are dtype-independent
         self.translator_ij = make_translator(
-            cross_path_len, dim, num_encoders, simple_translator, rng=rng
+            cross_path_len, dim, num_encoders, simple_translator, rng=rng,
+            dtype=embeddings_i.dtype,
         )
         self.translator_ji = make_translator(
-            cross_path_len, dim, num_encoders, simple_translator, rng=rng
+            cross_path_len, dim, num_encoders, simple_translator, rng=rng,
+            dtype=embeddings_i.dtype,
         )
         params = list(self.translator_ij.parameters()) + list(
             self.translator_ji.parameters()

@@ -150,12 +150,16 @@ class TransN:
         # training.  The paper does not specify initialization; independent
         # per-view inits measurably hurt the averaged embedding.
         bound = 0.5 / cfg.dim
+        # always draw in float64 (RNG consumption is dtype-independent),
+        # then cast: float32 mode changes storage, never the draw stream
         node_init = self.rng.uniform(
             -bound, bound, size=(graph.num_nodes, cfg.dim)
-        )
+        ).astype(cfg.resolved_dtype, copy=False)
         self.view_embeddings: dict[str, np.ndarray] = {}
         for view in self.views:
-            matrix = np.empty((view.num_nodes, cfg.dim))
+            matrix = np.empty(
+                (view.num_nodes, cfg.dim), dtype=cfg.resolved_dtype
+            )
             for node in view.graph.nodes:
                 matrix[view.graph.index_of(node)] = node_init[
                     graph.index_of(node)
@@ -177,11 +181,18 @@ class TransN:
             and len(self.views) > 1
         )
         # under relation balancing a prefetched corpus would use a
-        # one-epoch-stale walk share, so prefetch is opt-in there
+        # one-epoch-stale walk share, so prefetch is opt-in there; under
+        # streaming, double-buffering whole corpora would defeat the
+        # bounded-memory point, so prefetch stays off (config validation
+        # rejects an explicit prefetch=True)
         prefetch = (
             cfg.prefetch
             if cfg.prefetch is not None
-            else (self._parallel is not None and not balancing_possible)
+            else (
+                self._parallel is not None
+                and not balancing_possible
+                and not cfg.stream_corpus
+            )
         )
         self._cross_steps = 0  # cross-view step clock (parallel rng key)
 
@@ -200,6 +211,13 @@ class TransN:
                 prefetch=bool(prefetch),
                 seed=cfg.seed,
                 view_code=view_code,
+                stream_corpus=cfg.stream_corpus,
+                corpus_budget_bytes=cfg.corpus_budget_bytes,
+                spill_path=(
+                    Path(cfg.spill_dir) / f"view{view_code}.spill"
+                    if cfg.spill_dir is not None
+                    else None
+                ),
             )
             for view_code, view in enumerate(self.views)
         ]
@@ -618,12 +636,16 @@ class TransN:
                     weights.append(float(view.graph.degree(node)))
                 else:
                     weights.append(1.0)
+        dtype = self.config.resolved_dtype
         if not vectors:
-            return np.zeros(self.config.dim)
+            return np.zeros(self.config.dim, dtype=dtype)
         weight_total = sum(weights)
         if weight_total <= 0:
-            return np.mean(vectors, axis=0)
-        return np.average(vectors, axis=0, weights=weights)
+            # np.average/np.mean upcast through their float64 weights
+            return np.mean(vectors, axis=0).astype(dtype, copy=False)
+        return np.average(vectors, axis=0, weights=weights).astype(
+            dtype, copy=False
+        )
 
     def embeddings(self) -> dict[NodeId, np.ndarray]:
         """Final embeddings for every node of the input graph."""

@@ -9,13 +9,17 @@ embedding matrix.  Batching and negative sampling go through the shared
 
 from __future__ import annotations
 
-from repro.engine import CorpusPipeline
+from pathlib import Path
+from typing import Iterator
+
+from repro.engine import CorpusPipeline, StreamingCorpusPipeline
 from repro.engine.observability import NULL_REGISTRY, MetricsRegistry
 from repro.engine.parallel import (
     ParallelRuntime,
     PrefetchingSampler,
     single_view_seed,
 )
+from repro.engine.pipeline import block_walks_for_budget
 from repro.graph.views import View
 from repro.skipgram import SkipGramTrainer, window_for_view
 from repro.walks import (
@@ -25,9 +29,19 @@ from repro.walks import (
     WalkPolicy,
     build_corpus,
 )
-from repro.walks.corpus import WalkCorpus
+from repro.walks.corpus import (
+    WalkCorpus,
+    corpus_index_dtype,
+    stream_corpus as stream_walk_corpus,
+)
+from repro.walks.spill import SpillReader, SpillWriter
 
 import numpy as np
+
+#: streaming block size when no byte budget derives one — small enough to
+#: bound memory on big views, large enough that the goldens' toy corpora
+#: fit in a single block (where streaming is bit-identical to dense)
+DEFAULT_BLOCK_WALKS = 8192
 
 
 class SingleViewTrainer:
@@ -59,6 +73,19 @@ class SingleViewTrainer:
         seed / view_code: key the deterministic per-draw seed stream of
             the parallel path (``single_view_seed(seed, view_code, t)``);
             unused when ``parallel`` is ``None``.
+        stream_corpus: consume the corpus as fixed-size walk blocks
+            through a :class:`repro.engine.StreamingCorpusPipeline`
+            instead of materializing it (``docs/performance.md``).
+            Incompatible with ``prefetch`` (blocks already bound the
+            resident set; double-buffering would re-materialize it).
+        corpus_budget_bytes: hard peak-memory budget for the streaming
+            data path; sizes blocks via
+            :func:`repro.engine.block_walks_for_budget`.  Without it,
+            blocks hold :data:`DEFAULT_BLOCK_WALKS` walks.
+        spill_path: corpus spill file.  When the file exists it is
+            mmap-replayed instead of walking the view; otherwise the
+            next draw's blocks are recorded to it (atomically — a
+            half-written draw leaves no file).  Streaming only.
     """
 
     def __init__(
@@ -78,6 +105,9 @@ class SingleViewTrainer:
         prefetch: bool = False,
         seed: int = 0,
         view_code: int = 0,
+        stream_corpus: bool = False,
+        corpus_budget_bytes: int | None = None,
+        spill_path: str | Path | None = None,
     ) -> None:
         if embeddings.shape[0] != view.num_nodes:
             raise ValueError(
@@ -104,19 +134,52 @@ class SingleViewTrainer:
         self.seed = seed
         self.view_code = view_code
         self._draws = 0  # monotonic corpus-draw clock, checkpointed
+        self.stream_corpus = bool(stream_corpus)
+        self.corpus_budget_bytes = corpus_budget_bytes
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        if self.stream_corpus and prefetch:
+            raise ValueError(
+                "stream_corpus and prefetch are mutually exclusive"
+            )
+        if self.spill_path is not None and not self.stream_corpus:
+            raise ValueError("spill_path needs stream_corpus=True")
         self._prefetcher = (
             PrefetchingSampler(parallel, self._corpus_task)
             if parallel is not None and prefetch
             else None
         )
-        self.pipeline = CorpusPipeline(
-            sample_corpus=self.sample_corpus,
-            num_nodes=view.num_nodes,
-            window=self.window,
-            num_negatives=num_negatives,
-            batch_size=batch_size,
-            rng=rng,
-        )
+        if self.stream_corpus:
+            self._index_dtype = corpus_index_dtype(view.num_nodes)
+            if corpus_budget_bytes is not None:
+                self._block_walks = block_walks_for_budget(
+                    corpus_budget_bytes,
+                    walk_length,
+                    self.window,
+                    num_negatives,
+                    batch_size,
+                    itemsize=self._index_dtype.itemsize,
+                )
+            else:
+                self._block_walks = DEFAULT_BLOCK_WALKS
+            self.pipeline = StreamingCorpusPipeline(
+                sample_blocks=self.sample_blocks,
+                num_nodes=view.num_nodes,
+                window=self.window,
+                num_negatives=num_negatives,
+                batch_size=batch_size,
+                rng=rng,
+                budget_bytes=corpus_budget_bytes,
+                noise_dtype=embeddings.dtype,
+            )
+        else:
+            self.pipeline = CorpusPipeline(
+                sample_corpus=self.sample_corpus,
+                num_nodes=view.num_nodes,
+                window=self.window,
+                num_negatives=num_negatives,
+                batch_size=batch_size,
+                rng=rng,
+            )
 
     # ------------------------------------------------------------------
     def sample_corpus(self) -> WalkCorpus:
@@ -169,6 +232,85 @@ class SingleViewTrainer:
             )
 
         return build
+
+    # ------------------------------------------------------------------
+    # streaming corpus path
+    # ------------------------------------------------------------------
+    def sample_blocks(self) -> Iterator[WalkCorpus]:
+        """One corpus draw as a lazy stream of walk blocks.
+
+        Serial (``parallel=None``): blocks come off the shared trainer
+        RNG in the dense path's exact consumption order, so a draw that
+        fits one block is bit-identical to :meth:`sample_corpus`.  With
+        a runtime, blocks derive from the per-draw seed stream — a
+        deterministic stream of its own (``docs/parallelism.md``).
+
+        With a :attr:`spill_path`, an existing file is mmap-replayed
+        (no walking, no RNG consumption); otherwise this draw is
+        recorded to it while streaming through.
+        """
+        if self.spill_path is not None and self.spill_path.exists():
+            return self._track_last(self._replay_blocks())
+        if self.parallel is None:
+            blocks = stream_walk_corpus(
+                self.view,
+                self.walker,
+                length=self.walk_length,
+                floor=self.walk_floor,
+                cap=self.walk_cap,
+                rng=self.rng,
+                count_scale=self.walk_scale,
+                block_walks=self._block_walks,
+                index_dtype=self._index_dtype,
+            )
+        else:
+            seed_seq = single_view_seed(self.seed, self.view_code, self._draws)
+            self._draws += 1
+            blocks = self.parallel.stream_corpus(
+                self.view,
+                self.policy,
+                length=self.walk_length,
+                block_walks=self._block_walks,
+                floor=self.walk_floor,
+                cap=self.walk_cap,
+                count_scale=self.walk_scale,
+                seed_seq=seed_seq,
+                index_dtype=self._index_dtype,
+                label=f"single_view/{self.view.edge_type}",
+            )
+        if self.spill_path is not None:
+            blocks = self._record_blocks(blocks)
+        return self._track_last(blocks)
+
+    def _track_last(self, blocks) -> Iterator[WalkCorpus]:
+        """Remember the newest block for :meth:`evaluate_loss`."""
+        for block in blocks:
+            self._last_corpus = block
+            yield block
+
+    def _record_blocks(self, blocks) -> Iterator[WalkCorpus]:
+        """Tee blocks into the spill file; finalize only on exhaustion.
+
+        An interrupted draw aborts the temp file (also via the writer's
+        GC hook when the generator is dropped mid-stream), so a partial
+        recording is never replayed.
+        """
+        writer = SpillWriter(
+            self.spill_path, self.walk_length, self._index_dtype
+        )
+        try:
+            for block in blocks:
+                writer.append(block.matrix, block.lengths)
+                yield block
+            writer.finalize()
+        except BaseException:
+            writer.abort()
+            raise
+
+    def _replay_blocks(self) -> Iterator[WalkCorpus]:
+        """Stream the spilled corpus back through the kernel page cache."""
+        with SpillReader(self.spill_path) as reader:
+            yield from reader.corpora(self.view.graph)
 
     def bind_metrics(self, metrics: MetricsRegistry) -> None:
         """Route this view's metrics (and the inner SGNS trainer's

@@ -48,6 +48,7 @@ class Translator(Module):
         dim: int,
         num_encoders: int,
         rng: np.random.Generator | None = None,
+        dtype=np.float64,
     ) -> None:
         if num_encoders < 1:
             raise ValueError("a translator needs at least one encoder")
@@ -60,6 +61,7 @@ class Translator(Module):
                 dim,
                 rng=rng,
                 activation="relu" if k < num_encoders - 1 else "linear",
+                dtype=dtype,
             )
             for k in range(num_encoders)
         ]
@@ -84,10 +86,11 @@ class SimpleTranslator(Module):
         path_len: int,
         dim: int,
         rng: np.random.Generator | None = None,
+        dtype=np.float64,
     ) -> None:
         self.path_len = path_len
         self.dim = dim
-        self.feed_forward = FeedForwardLayer(path_len, rng=rng)
+        self.feed_forward = FeedForwardLayer(path_len, rng=rng, dtype=dtype)
 
     def forward(self, a: Tensor) -> Tensor:
         _check_path_batch(a, self.path_len, self.dim)
@@ -100,8 +103,13 @@ def make_translator(
     num_encoders: int,
     simple: bool,
     rng: np.random.Generator | None = None,
+    dtype=np.float64,
 ) -> Module:
-    """Factory switching between the full and ablated translator."""
+    """Factory switching between the full and ablated translator.
+
+    ``dtype`` sets the parameter storage dtype; initialization draws stay
+    float64 so RNG consumption is identical across dtypes.
+    """
     if simple:
-        return SimpleTranslator(path_len, dim, rng=rng)
-    return Translator(path_len, dim, num_encoders, rng=rng)
+        return SimpleTranslator(path_len, dim, rng=rng, dtype=dtype)
+    return Translator(path_len, dim, num_encoders, rng=rng, dtype=dtype)

@@ -95,6 +95,8 @@ from repro.engine.pipeline import (
     CorpusPipeline,
     EdgeSamplingPipeline,
     SkipGramBatch,
+    StreamingCorpusPipeline,
+    block_walks_for_budget,
 )
 
 __all__ = [
@@ -130,6 +132,8 @@ __all__ = [
     "SharedCSR",
     "SharedCSRSpec",
     "SkipGramBatch",
+    "StreamingCorpusPipeline",
+    "block_walks_for_budget",
     "SkipGramPhase",
     "Span",
     "Tracer",

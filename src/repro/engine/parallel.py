@@ -410,6 +410,75 @@ class ParallelRuntime:
         return self._prefetch_pool
 
     # -- corpus generation ---------------------------------------------
+    def _walk_sharded(
+        self,
+        csr: CSRAdjacency,
+        policy: WalkPolicy,
+        shards: Sequence[np.ndarray],
+        length: int,
+        children: Sequence[np.random.SeedSequence],
+        is_heter: bool,
+        label: str,
+    ) -> list[tuple[np.ndarray, np.ndarray] | None]:
+        """Walk ``shards[k]`` under seed ``children[k]``, pool or fallback.
+
+        The shard→seed pairing is positional and unconditional (empty
+        shards still consume their child), so the output depends only on
+        the shard split and the seeds.  On :class:`BrokenProcessPool`
+        every shard is replayed in-process with the same seeds —
+        bit-identical results — and the pool is marked broken for the
+        rest of the run.
+        """
+        results: list[tuple[np.ndarray, np.ndarray] | None]
+        results = [None] * len(shards)
+        use_pool = not self._pool_broken
+        if use_pool:
+            shared = self._shared_for(
+                csr, policy.required_columns, is_heter
+            )
+            futures = {}
+            try:
+                for k, shard in enumerate(shards):
+                    if shard.size == 0:
+                        continue  # child seed k stays reserved regardless
+                    futures[k] = self._pool.submit(
+                        _walk_shard,
+                        shared.spec,
+                        policy,
+                        shard,
+                        length,
+                        children[k],
+                        self._attach_unregister,
+                    )
+                for k, future in futures.items():
+                    matrix, lengths, elapsed = future.result()
+                    results[k] = (matrix, lengths)
+                    self._metrics.record_seconds(
+                        f"parallel/worker/{k}/seconds", elapsed
+                    )
+            except BrokenProcessPool:
+                self._pool_broken = True
+                use_pool = False
+                results = [None] * len(shards)
+                self._metrics.counter("parallel/fallback")
+                self._metrics.event(
+                    "parallel/fallback",
+                    "worker pool broke; replaying shards in-process",
+                    label=label,
+                )
+        if not use_pool:
+            for k, shard in enumerate(shards):
+                if shard.size == 0:
+                    continue
+                matrix, lengths, elapsed = _walk_shard_local(
+                    csr, policy, shard, length, children[k], is_heter
+                )
+                results[k] = (matrix, lengths)
+                self._metrics.record_seconds(
+                    f"parallel/worker/{k}/seconds", elapsed
+                )
+        return results
+
     def build_corpus(
         self,
         view_or_graph: View | HeteroGraph,
@@ -458,54 +527,9 @@ class ParallelRuntime:
             for k in range(self.workers + 1)
         ]
         shards = np.array_split(starts, self.workers)
-        results: list[tuple[np.ndarray, np.ndarray] | None]
-        results = [None] * self.workers
-        use_pool = not self._pool_broken
-        if use_pool:
-            shared = self._shared_for(
-                csr, policy.required_columns, is_heter
-            )
-            futures = {}
-            try:
-                for k, shard in enumerate(shards):
-                    if shard.size == 0:
-                        continue  # child seed k stays reserved regardless
-                    futures[k] = self._pool.submit(
-                        _walk_shard,
-                        shared.spec,
-                        policy,
-                        shard,
-                        length,
-                        children[k],
-                        self._attach_unregister,
-                    )
-                for k, future in futures.items():
-                    matrix, lengths, elapsed = future.result()
-                    results[k] = (matrix, lengths)
-                    self._metrics.record_seconds(
-                        f"parallel/worker/{k}/seconds", elapsed
-                    )
-            except BrokenProcessPool:
-                self._pool_broken = True
-                use_pool = False
-                results = [None] * self.workers
-                self._metrics.counter("parallel/fallback")
-                self._metrics.event(
-                    "parallel/fallback",
-                    "worker pool broke; replaying shards in-process",
-                    label=label,
-                )
-        if not use_pool:
-            for k, shard in enumerate(shards):
-                if shard.size == 0:
-                    continue
-                matrix, lengths, elapsed = _walk_shard_local(
-                    csr, policy, shard, length, children[k], is_heter
-                )
-                results[k] = (matrix, lengths)
-                self._metrics.record_seconds(
-                    f"parallel/worker/{k}/seconds", elapsed
-                )
+        results = self._walk_sharded(
+            csr, policy, shards, length, children, is_heter, label
+        )
         parts = [part for part in results if part is not None]
         if parts:
             matrix = np.concatenate([m for m, _ in parts])
@@ -519,6 +543,84 @@ class ParallelRuntime:
         self._metrics.counter("parallel/corpus_builds")
         self._metrics.observe(f"parallel/{label}/walks", matrix.shape[0])
         return WalkCorpus(matrix[order], lengths[order], length, graph)
+
+    def stream_corpus(
+        self,
+        view_or_graph: View | HeteroGraph,
+        policy: WalkPolicy,
+        *,
+        length: int,
+        block_walks: int,
+        floor: int = 10,
+        cap: int = 32,
+        walks_per_node_override: int | None = None,
+        count_scale: float = 1.0,
+        seed_seq: np.random.SeedSequence,
+        index_dtype: np.dtype | None = None,
+        label: str = "corpus",
+    ):
+        """Lazily yield the corpus as blocks of at most ``block_walks``.
+
+        Same start law as :meth:`build_corpus`, but starts are cut into
+        consecutive blocks and each block is sharded across the workers
+        and shuffled independently, so only one block's walks are ever
+        resident.  Block ``b`` derives its seeds from
+        ``spawn_key + (b, k)`` — disjoint from :meth:`build_corpus`'s
+        ``spawn_key + (k,)`` children and independent of every other
+        block — so the stream is deterministic for a fixed
+        ``(seed_seq, block_walks, workers)`` but is *not* the dense
+        build's permutation (same walks, different interleave; the
+        trainer documents this as the parallel-streaming stream).
+
+        ``index_dtype`` casts each block's matrix (int32 compact mode)
+        before it is yielded.
+        """
+        if length < 2:
+            raise ValueError(f"walk length must be >= 2, got {length}")
+        if block_walks < 1:
+            raise ValueError(
+                f"block_walks must be >= 1, got {block_walks}"
+            )
+        graph, is_heter = _resolve_graph(view_or_graph)
+        csr = csr_adjacency(graph)
+        policy = policy.bind(view_or_graph)
+        starts = walk_start_nodes(
+            csr.degrees,
+            policy=policy,
+            floor=floor,
+            cap=cap,
+            walks_per_node_override=walks_per_node_override,
+            count_scale=count_scale,
+        )
+        self._metrics.counter("parallel/corpus_builds")
+        self._metrics.observe(f"parallel/{label}/walks", starts.size)
+        for b, begin in enumerate(range(0, starts.size, block_walks)):
+            block_starts = starts[begin : begin + block_walks]
+            children = [
+                np.random.SeedSequence(
+                    entropy=seed_seq.entropy,
+                    spawn_key=seed_seq.spawn_key + (b, k),
+                )
+                for k in range(self.workers + 1)
+            ]
+            shards = np.array_split(block_starts, self.workers)
+            results = self._walk_sharded(
+                csr, policy, shards, length, children, is_heter, label
+            )
+            parts = [part for part in results if part is not None]
+            if parts:
+                matrix = np.concatenate([m for m, _ in parts])
+                lengths = np.concatenate([ln for _, ln in parts])
+            else:  # pragma: no cover - only via empty start law
+                matrix = np.empty((0, length), dtype=np.int64)
+                lengths = np.empty(0, dtype=np.int64)
+            order = np.random.default_rng(children[-1]).permutation(
+                matrix.shape[0]
+            )
+            matrix = matrix[order]
+            if index_dtype is not None:
+                matrix = matrix.astype(index_dtype, copy=False)
+            yield WalkCorpus(matrix, lengths[order], length, graph)
 
     # -- cross-view waves ----------------------------------------------
     def train_pairs(

@@ -13,11 +13,16 @@ indices per pair.  The pipelines here own the full walk→pairs→negatives
   Corpora are index-space matrices (:class:`repro.walks.WalkCorpus`), so
   pair extraction and noise counts are array operations — nothing between
   walk sampling and the yielded batches leaves NumPy.
+- :class:`StreamingCorpusPipeline` — the out-of-core twin: consumes
+  fixed-size walk *blocks* (:func:`repro.walks.corpus.stream_corpus`)
+  and turns each into batches on the fly under a hard peak-memory
+  budget, with the noise table accumulated incrementally from block
+  frequency counts during the first epoch and frozen afterwards.
 - :class:`EdgeSamplingPipeline` — LINE-style edge sampling: positives are
   weight-proportional edge draws, negatives come from the degree^0.75
   distribution.
 
-Both expose ``epoch() -> Iterator[SkipGramBatch]`` (the
+All expose ``epoch() -> Iterator[SkipGramBatch]`` (the
 :class:`BatchSource` protocol), which is what
 :class:`repro.engine.loop.SkipGramPhase` consumes.
 """
@@ -25,7 +30,7 @@ Both expose ``epoch() -> Iterator[SkipGramBatch]`` (the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Protocol
+from typing import Callable, Iterable, Iterator, Protocol
 
 import numpy as np
 
@@ -227,6 +232,258 @@ class CorpusPipeline:
                 contexts=contexts[start:end],
                 negatives=negatives,
             )
+
+
+def pairs_per_walk(length: int, window: int) -> int:
+    """Upper bound on Definition-6 pairs one walk of ``length`` yields.
+
+    A full-length walk produces ``length - d`` positions per offset
+    ``d <= window``, each emitting both ``(i, i+d)`` directions.  Early
+    terminations only shrink this, so the bound is safe for budgeting.
+    """
+    span = min(window, length - 1)
+    return 2 * sum(length - d for d in range(1, span + 1))
+
+
+def block_walks_for_budget(
+    budget_bytes: int,
+    length: int,
+    window: int,
+    num_negatives: int,
+    batch_size: int,
+    itemsize: int = 8,
+) -> int:
+    """Largest walk-block size whose data path fits ``budget_bytes``.
+
+    Accounts for every array the streaming chain materializes per block,
+    at its worst case (full-length walks, including transient copies):
+
+    - the ``(walks, length)`` index matrix **twice** (walker output plus
+      the shuffled copy :func:`repro.walks.corpus.stream_corpus` takes),
+    - the int64 ``lengths`` vector twice (same shuffle) and the int64
+      permutation order,
+    - center/context pair arrays **twice** (the per-offset slices and
+      their concatenation) plus one byte per pair for the validity
+      masks,
+    - one ``batch_size × num_negatives`` int64 negatives array (the only
+      per-batch allocation).
+
+    Raises:
+        ValueError: if not even a single walk fits the budget.
+    """
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    pairs = pairs_per_walk(length, window)
+    per_walk = (
+        2 * length * itemsize  # matrix + shuffled copy
+        + 2 * 8  # lengths + shuffled copy
+        + 8  # permutation order
+        + 4 * pairs * itemsize  # pair slices + concatenated copies
+        + pairs  # boolean validity masks
+    )
+    fixed = batch_size * num_negatives * 8
+    walks = (budget_bytes - fixed) // per_walk
+    if walks < 1:
+        raise ValueError(
+            f"corpus budget of {budget_bytes} bytes cannot hold one walk "
+            f"(needs {per_walk + fixed} bytes at length={length}, "
+            f"window={window}, batch_size={batch_size})"
+        )
+    return int(walks)
+
+
+class StreamingCorpusPipeline:
+    """Bounded-memory twin of :class:`CorpusPipeline`: blocks, not corpora.
+
+    Instead of materializing one epoch-sized corpus, each epoch consumes
+    a stream of fixed-size walk blocks (each a small :class:`WalkCorpus`)
+    and turns every block into batches immediately, so peak memory is
+    proportional to the block size — not the graph.  Size blocks with
+    :func:`block_walks_for_budget` to honour a byte budget; the pipeline
+    then *enforces* it, raising if any block's measured data-path bytes
+    exceed ``budget_bytes`` (tracked in :attr:`peak_block_bytes`).
+
+    Noise-table semantics mirror the dense pipeline's "first corpus"
+    contract at block granularity: during the first epoch the unigram
+    counts accumulate block by block (the table is rebuilt from the
+    running counts as needed), and after the first complete epoch the
+    table freezes — from then on it is exactly the table the dense
+    pipeline would have built from that epoch's full corpus.  With a
+    single block per epoch, batches and negative draws are bit-identical
+    to :class:`CorpusPipeline` given the same RNG.
+
+    Args:
+        sample_blocks: zero-argument callable returning a fresh iterable
+            of :class:`WalkCorpus` blocks (one draw of the corpus; walker
+            RNG consumption happens lazily as the iterable advances).
+        budget_bytes: optional hard peak-memory budget for the per-block
+            data path.
+        noise_dtype: storage dtype for the retained noise counts
+            (float32 mode halves them; sampling is unaffected).
+    """
+
+    def __init__(
+        self,
+        sample_blocks: Callable[[], Iterable[WalkCorpus]],
+        num_nodes: int,
+        window: int,
+        num_negatives: int = 5,
+        batch_size: int = 128,
+        rng: np.random.Generator | None = None,
+        noise_power: float = 0.75,
+        budget_bytes: int | None = None,
+        noise_dtype=np.float64,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if num_negatives < 1:
+            raise ValueError(
+                f"num_negatives must be >= 1, got {num_negatives}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(
+                f"budget_bytes must be positive, got {budget_bytes}"
+            )
+        self.sample_blocks = sample_blocks
+        self.num_nodes = num_nodes
+        self.window = window
+        self.num_negatives = num_negatives
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.noise_power = noise_power
+        self.budget_bytes = budget_bytes
+        self.noise_dtype = np.dtype(noise_dtype)
+        # float64 accumulator: exact integer counts up to 2**53, and the
+        # alias table is always built in float64 anyway
+        self._counts = np.zeros(num_nodes, dtype=np.float64)
+        self._frozen = False
+        self._noise: NoiseDistribution | None = None
+        self.peak_block_bytes = 0
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.metric_prefix = "pipeline/"
+
+    # ------------------------------------------------------------------
+    def pairs(self, corpus: WalkCorpus) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten one block into (centers, contexts) index arrays."""
+        return extract_index_pairs(corpus, self.window)
+
+    def _table(self) -> NoiseDistribution:
+        if self._noise is None:
+            self._noise = NoiseDistribution(
+                self._counts,
+                self.num_nodes,
+                power=self.noise_power,
+                dtype=self.noise_dtype,
+            )
+        return self._noise
+
+    def noise(self, corpus: WalkCorpus) -> NoiseDistribution:
+        """The current noise table (for loss evaluation outside epochs).
+
+        Before any training block has been seen, falls back to a
+        transient table over ``corpus`` itself — uncached, so it cannot
+        perturb the accumulate-then-freeze schedule.
+        """
+        if self._noise is not None or self._counts.sum() > 0:
+            return self._table()
+        return NoiseDistribution(
+            corpus.frequency_counts(self.num_nodes),
+            self.num_nodes,
+            power=self.noise_power,
+            dtype=self.noise_dtype,
+        )
+
+    def _block_bytes(
+        self, block: WalkCorpus, centers: np.ndarray, contexts: np.ndarray
+    ) -> int:
+        """Measured data-path bytes for one block (mirrors the budget)."""
+        return (
+            2 * block.matrix.nbytes
+            + 2 * block.lengths.nbytes
+            + 8 * block.lengths.size
+            + 2 * (centers.nbytes + contexts.nbytes)
+            + centers.size
+            + self.batch_size * self.num_negatives * 8
+        )
+
+    # -- checkpoint protocol -------------------------------------------
+    def state_dict(self) -> dict:
+        """Accumulated noise counts plus the freeze flag.
+
+        Restoring mid-run must reproduce the exact table the
+        uninterrupted run would use; the counts are sufficient because
+        alias-table construction is deterministic.
+        """
+        seen = self._counts.sum() > 0
+        return {
+            "noise_counts": self._counts.copy() if seen else None,
+            "noise_frozen": self._frozen,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        counts = state["noise_counts"]
+        if counts is None:
+            self._counts = np.zeros(self.num_nodes, dtype=np.float64)
+        else:
+            self._counts = np.asarray(counts, dtype=np.float64).copy()
+        # tolerate dense-pipeline state (no freeze flag): a dense table
+        # always comes from a completed first corpus, i.e. frozen
+        self._frozen = bool(
+            state.get("noise_frozen", counts is not None)
+        )
+        self._noise = None
+
+    # ------------------------------------------------------------------
+    def epoch(self) -> Iterator[SkipGramBatch]:
+        """Stream one corpus draw block by block as minibatches.
+
+        The sampling timer accumulates the per-block walker waits, so
+        the epoch's total sampling cost lands in the same metric the
+        dense pipeline reports.
+        """
+        iterator = iter(self.sample_blocks())
+        saw_block = False
+        while True:
+            with self.metrics.timer(f"{self.metric_prefix}sampling_seconds"):
+                block = next(iterator, None)
+            if block is None:
+                break
+            saw_block = True
+            if not self._frozen:
+                self._counts += block.frequency_counts(self.num_nodes)
+                self._noise = None
+            centers, contexts = self.pairs(block)
+            measured = self._block_bytes(block, centers, contexts)
+            if measured > self.peak_block_bytes:
+                self.peak_block_bytes = measured
+                self.metrics.gauge(
+                    f"{self.metric_prefix}peak_block_bytes", measured
+                )
+            if self.budget_bytes is not None and measured > self.budget_bytes:
+                raise MemoryError(
+                    f"corpus block needs {measured} bytes, exceeding the "
+                    f"{self.budget_bytes}-byte budget; shrink the block "
+                    f"size (see block_walks_for_budget)"
+                )
+            if centers.size == 0:
+                continue
+            noise = self._table()
+            for start in range(0, centers.size, self.batch_size):
+                end = min(start + self.batch_size, centers.size)
+                negatives = noise.sample(
+                    self.rng, size=(end - start) * self.num_negatives
+                ).reshape(end - start, self.num_negatives)
+                yield SkipGramBatch(
+                    centers=centers[start:end],
+                    contexts=contexts[start:end],
+                    negatives=negatives,
+                )
+        if saw_block:
+            self._frozen = True
 
 
 class EdgeSamplingPipeline:

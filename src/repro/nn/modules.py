@@ -91,15 +91,20 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=np.float64,
     ) -> None:
         rng = rng or np.random.default_rng()
         scale = math.sqrt(2.0 / (in_features + out_features))
+        # draw in float64 and cast after: the RNG consumption (and hence
+        # every downstream draw) is identical across dtypes
         self.weight = Tensor(
-            rng.normal(0.0, scale, size=(in_features, out_features)),
+            rng.normal(0.0, scale, size=(in_features, out_features)).astype(
+                dtype, copy=False
+            ),
             requires_grad=True,
         )
         self.bias = (
-            Tensor(np.zeros((1, out_features)), requires_grad=True)
+            Tensor(np.zeros((1, out_features), dtype=dtype), requires_grad=True)
             if bias
             else None
         )
@@ -161,18 +166,24 @@ class FeedForwardLayer(Module):
         rng: np.random.Generator | None = None,
         identity_init: bool = True,
         activation: str = "relu",
+        dtype=np.float64,
     ) -> None:
         if path_len <= 0:
             raise ValueError("path length must be positive")
         if activation not in ("relu", "linear"):
             raise ValueError(f"unknown activation {activation!r}")
         rng = rng or np.random.default_rng()
+        # float64 draw, cast after: RNG consumption is dtype-independent
         noise = rng.normal(0.0, 0.01, size=(path_len, path_len))
         base = np.eye(path_len) if identity_init else np.zeros((path_len, path_len))
         self.path_len = path_len
         self.activation = activation
-        self.weight = Tensor(base + noise, requires_grad=True)
-        self.bias = Tensor(np.zeros((path_len, 1)), requires_grad=True)
+        self.weight = Tensor(
+            (base + noise).astype(dtype, copy=False), requires_grad=True
+        )
+        self.bias = Tensor(
+            np.zeros((path_len, 1), dtype=dtype), requires_grad=True
+        )
 
     def forward(self, a: Tensor) -> Tensor:
         if a.shape[-2] != self.path_len:
@@ -200,9 +211,12 @@ class Encoder(Module):
         dim: int,
         rng: np.random.Generator | None = None,
         activation: str = "relu",
+        dtype=np.float64,
     ) -> None:
         self.attention = SelfAttentionLayer(dim)
-        self.feed_forward = FeedForwardLayer(path_len, rng=rng, activation=activation)
+        self.feed_forward = FeedForwardLayer(
+            path_len, rng=rng, activation=activation, dtype=dtype
+        )
 
     def forward(self, a: Tensor) -> Tensor:
         return self.feed_forward(self.attention(a))

@@ -14,6 +14,20 @@ class NoiseDistribution:
 
     ``counts`` maps dense node indices (0..n-1) to corpus frequencies;
     indices absent from ``counts`` get zero probability.
+
+    The alias table is built over the *observed* nodes only (the indices
+    with a positive count): a corpus touching a small subset of a large
+    index space pays for its subset, not the full node range.  When
+    every node is observed — the TransN views, where each node has
+    degree > 0 and therefore starts walks — the compact table is the
+    full-range table, so sampling realizations are unchanged.  Alias
+    construction always happens in float64 regardless of ``dtype``, so
+    the drawn negatives are identical across embedding dtypes.
+
+    Args:
+        dtype: storage dtype of the retained count array (float32 mode
+            halves it; the default float64 matches the historical
+            layout bit for bit).
     """
 
     def __init__(
@@ -21,10 +35,11 @@ class NoiseDistribution:
         counts: Mapping[int, int] | np.ndarray,
         num_nodes: int,
         power: float = 0.75,
+        dtype=np.float64,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
-        weights = np.zeros(num_nodes, dtype=np.float64)
+        weights = np.zeros(num_nodes, dtype=np.dtype(dtype))
         if isinstance(counts, np.ndarray):
             if counts.shape != (num_nodes,):
                 raise ValueError(
@@ -38,7 +53,13 @@ class NoiseDistribution:
                 weights[index] = count
         if weights.sum() <= 0:
             raise ValueError("noise distribution needs at least one count")
-        self._sampler = AliasSampler(np.power(weights, power))
+        observed = np.flatnonzero(weights)
+        table_weights = np.power(
+            weights[observed].astype(np.float64, copy=False), power
+        )
+        self._sampler = AliasSampler(table_weights)
+        # None marks the dense case: draws are already node indices
+        self._observed = None if observed.size == num_nodes else observed
         self.num_nodes = num_nodes
         # kept so the distribution can be checkpointed and rebuilt
         # bit-identically (alias-table construction is deterministic)
@@ -47,8 +68,16 @@ class NoiseDistribution:
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` negative node indices."""
-        return np.asarray(self._sampler.sample(rng, size=size), dtype=np.int64)
+        draws = np.asarray(self._sampler.sample(rng, size=size), dtype=np.int64)
+        if self._observed is not None:
+            draws = self._observed[draws]
+        return draws
 
     def probabilities(self) -> np.ndarray:
         """The exact noise probabilities (for testing)."""
-        return self._sampler.probabilities()
+        table = self._sampler.probabilities()
+        if self._observed is None:
+            return table
+        probs = np.zeros(self.num_nodes, dtype=np.float64)
+        probs[self._observed] = table
+        return probs

@@ -32,7 +32,14 @@ from repro.walks.batched import (
     BatchedUniformWalker,
     LockstepWalker,
 )
-from repro.walks.corpus import WalkCorpus, build_corpus, extract_index_pairs
+from repro.walks.corpus import (
+    WalkCorpus,
+    build_corpus,
+    corpus_index_dtype,
+    extract_index_pairs,
+    stream_corpus,
+)
+from repro.walks.spill import SpillFormatError, SpillReader, SpillWriter
 from repro.walks.metapath import MetapathWalker
 from repro.walks.node2vec import Node2VecWalker
 from repro.walks.policies import (
@@ -78,6 +85,11 @@ __all__ = [
     # corpus construction
     "WalkCorpus",
     "build_corpus",
+    "stream_corpus",
+    "corpus_index_dtype",
+    "SpillWriter",
+    "SpillReader",
+    "SpillFormatError",
     "extract_index_pairs",
     "walk_counts",
     "walks_per_node",

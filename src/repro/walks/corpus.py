@@ -45,8 +45,11 @@ class WalkCorpus:
     """A bag of sampled paths over one graph/view, in index space.
 
     Attributes:
-        matrix: ``(num_walks, length)`` int64 node-index matrix, ``-1``
-            past each walk's end.
+        matrix: ``(num_walks, length)`` node-index matrix, ``-1`` past
+            each walk's end.  The index dtype is ``int64`` by default;
+            ``int32`` matrices (the streaming/spill compact mode for
+            graphs with fewer than ``2**31`` nodes) pass through
+            unchanged, halving corpus bytes.
         lengths: ``(num_walks,)`` int64 real length per walk.
         length: the requested walk length (walks may be shorter if they
             got stuck on a neighbour-less node).
@@ -62,7 +65,10 @@ class WalkCorpus:
         length: int,
         graph: HeteroGraph | None = None,
     ) -> None:
-        self.matrix = np.asarray(matrix, dtype=np.int64)
+        matrix = np.asarray(matrix)
+        if matrix.dtype not in (np.int32, np.int64):
+            matrix = matrix.astype(np.int64)
+        self.matrix = matrix
         self.lengths = np.asarray(lengths, dtype=np.int64)
         if self.matrix.ndim != 2:
             raise ValueError(
@@ -127,8 +133,12 @@ class WalkCorpus:
         """Occurrence count per node index — the skip-gram noise counts.
 
         One ``np.unique`` over the (valid part of the) index matrix.
+        Counts accumulate in the corpus index dtype (int64, or int32 for
+        compact corpora) rather than float64 — the values are identical
+        once the noise distribution casts them, and an int32 corpus keeps
+        its count array at half the bytes too.
         """
-        counts = np.zeros(num_nodes, dtype=np.float64)
+        counts = np.zeros(num_nodes, dtype=self.matrix.dtype)
         flat = self.matrix[self.matrix != PAD]
         if flat.size:
             present, present_counts = np.unique(flat, return_counts=True)
@@ -179,7 +189,7 @@ def extract_index_pairs(
         centers.append(b)
         contexts.append(a)
     if not centers:
-        empty = np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=matrix.dtype)
         return empty, empty.copy()
     return np.concatenate(centers), np.concatenate(contexts)
 
@@ -286,6 +296,92 @@ def build_corpus(
     )
 
 
+def corpus_index_dtype(num_nodes: int) -> np.dtype:
+    """The compact index dtype for a graph of ``num_nodes`` nodes.
+
+    ``int32`` whenever every index (and the ``-1`` pad) fits, which
+    halves corpus bytes both in memory and in spill files; ``int64``
+    only for graphs beyond ``2**31 - 1`` nodes.
+    """
+    return np.dtype(np.int32 if num_nodes < 2**31 else np.int64)
+
+
+def stream_corpus(
+    view_or_graph: View | HeteroGraph,
+    walker: Walker | BatchedWalker | WalkPolicy,
+    length: int,
+    floor: int = 10,
+    cap: int = 32,
+    walks_per_node_override: int | None = None,
+    rng: np.random.Generator | None = None,
+    count_scale: float = 1.0,
+    block_walks: int | None = None,
+    index_dtype: np.dtype | None = None,
+) -> Iterator[WalkCorpus]:
+    """The streaming variant of :func:`build_corpus`: fixed-size blocks.
+
+    Start indices follow the exact law of :func:`build_corpus`
+    (:func:`walk_start_nodes`), computed once up front; the walks are
+    then sampled in blocks of at most ``block_walks`` starts, each block
+    shuffled independently and yielded as its own :class:`WalkCorpus`.
+    Peak memory is proportional to the block, not the corpus.
+
+    RNG contract: each block consumes the walker's draws and then one
+    ``rng.permutation(block size)``, in block order.  When the whole
+    corpus fits in one block (``block_walks`` is ``None`` or at least
+    the total walk count) this is *exactly* the draw sequence of
+    :func:`build_corpus`, so the single-block stream is bit-identical
+    to the dense corpus.  Multi-block streams are deterministic for a
+    fixed ``(rng state, block_walks)`` but interleave walker draws
+    differently, so they are a different — equally valid — sample of
+    the same Eq. 6-7 walk law (exactly as ``workers=N`` is).
+
+    Blocks are consumed lazily: pull them in order, and do not interleave
+    other draws from ``rng`` mid-stream.
+
+    Args:
+        block_walks: maximum walks per yielded block (``None``: one
+            block — the dense corpus, streamed).
+        index_dtype: cast block matrices to this dtype
+            (:func:`corpus_index_dtype` gives the compact choice); the
+            cast changes bytes, never index values.
+
+    Everything else matches :func:`build_corpus`.
+    """
+    if length < 2:
+        raise ValueError(f"walk length must be >= 2, got {length}")
+    if block_walks is not None and block_walks < 1:
+        raise ValueError(f"block_walks must be >= 1, got {block_walks}")
+    graph = view_or_graph.graph if isinstance(view_or_graph, View) else view_or_graph
+    rng = rng or np.random.default_rng()
+    if isinstance(walker, WalkPolicy):
+        walker = LockstepWalker(view_or_graph, walker, rng=rng)
+    starts = walk_start_nodes(
+        csr_adjacency(graph).degrees,
+        policy=getattr(walker, "policy", None),
+        floor=floor,
+        cap=cap,
+        walks_per_node_override=walks_per_node_override,
+        count_scale=count_scale,
+    )
+    total = starts.size
+    step = total if block_walks is None else min(block_walks, max(total, 1))
+    for begin in range(0, total, max(step, 1)):
+        shard = starts[begin : begin + step]
+        if hasattr(walker, "walk_batch"):
+            matrix, lengths = walker.walk_batch(shard, length)
+        else:
+            node_at = graph.node_at
+            paths = [walker.walk(node_at(int(i)), length) for i in shard]
+            packed = WalkCorpus.from_paths(paths, length, graph)
+            matrix, lengths = packed.matrix, packed.lengths
+        order = rng.permutation(matrix.shape[0])
+        matrix, lengths = matrix[order], lengths[order]
+        if index_dtype is not None:
+            matrix = matrix.astype(index_dtype, copy=False)
+        yield WalkCorpus(matrix, lengths, length, graph)
+
+
 def filter_to_nodes(
     corpus: WalkCorpus,
     keep: Iterable[NodeId],
@@ -304,13 +400,15 @@ def filter_to_nodes(
     matrix, lengths = corpus.matrix, corpus.lengths
     if corpus.graph is not None:
         graph = corpus.graph
-        keep_idx = np.fromiter(
-            (graph.index_of(n) for n in keep if graph.has_node(n)),
-            dtype=np.int64,
-        )
+        # one vectorized pass: unknown nodes land on -1 and are dropped
+        keep_idx = graph.indices_of(keep)
+        keep_idx = keep_idx[keep_idx >= 0]
         num_nodes = graph.num_nodes
     else:
-        keep_idx = np.fromiter((int(n) for n in keep), dtype=np.int64)
+        keep_idx = np.asarray(
+            keep if isinstance(keep, np.ndarray) else list(keep),
+            dtype=np.int64,
+        )
         upper = int(matrix.max(initial=-1))
         if keep_idx.size:
             upper = max(upper, int(keep_idx.max()))

@@ -1,0 +1,210 @@
+"""On-disk corpus spill: append walk blocks once, mmap-replay every epoch.
+
+Streaming corpus generation (:func:`repro.walks.corpus.stream_corpus`)
+bounds peak memory, but every epoch still pays the full walk-sampling
+cost.  The spill file trades disk for that cost, word2vec-style: the
+first draw's blocks are appended to a flat binary file as they stream
+past, and subsequent draws replay the file through ``mmap`` — the kernel
+pages blocks in and out on demand, so replay keeps the same bounded
+working set as generation while skipping the walker entirely.
+
+File format (little-endian, version 1)::
+
+    header   magic b"TNSPILL1" | u32 version | u32 index itemsize (4|8)
+             | u32 walk length | u64 block count
+    block    u64 num_walks | u64 width
+             | num_walks*width index matrix (int32 or int64)
+             | num_walks int64 lengths
+
+Writers append to ``<path>.tmp`` and atomically rename on
+:meth:`SpillWriter.finalize`, so a crashed or abandoned epoch never
+leaves a half-written file where a replay would look for it; int32
+index matrices (graphs under ``2**31`` nodes —
+:func:`repro.walks.corpus.corpus_index_dtype`) halve the file.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.graph.heterograph import HeteroGraph
+from repro.walks.corpus import WalkCorpus
+
+MAGIC = b"TNSPILL1"
+VERSION = 1
+_HEADER = struct.Struct("<8sIIIQ")  # magic, version, itemsize, length, blocks
+_BLOCK = struct.Struct("<QQ")  # num_walks, width
+
+
+class SpillFormatError(ValueError):
+    """The file is not a (complete, current-version) corpus spill."""
+
+
+class SpillWriter:
+    """Append walk blocks to a spill file; atomic on :meth:`finalize`.
+
+    Blocks must share one index dtype (int32 or int64) and one nominal
+    walk length; widths may vary per block (scalar walkers can overrun
+    the nominal length).  Until :meth:`finalize` the data lives in
+    ``<path>.tmp``; :meth:`abort` (or garbage collection) drops it.
+    """
+
+    def __init__(self, path: str | Path, length: int, dtype) -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            raise ValueError(f"spill index dtype must be int32/int64, got {dtype}")
+        self.path = Path(path)
+        self.length = int(length)
+        self.dtype = dtype
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._tmp.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self._tmp.open("wb")
+        self._blocks = 0
+        self._handle.write(
+            _HEADER.pack(MAGIC, VERSION, dtype.itemsize, self.length, 0)
+        )
+
+    def append(self, matrix: np.ndarray, lengths: np.ndarray) -> None:
+        """Append one ``(num_walks, width)`` block and its lengths."""
+        if self._handle is None:
+            raise ValueError("spill writer is closed")
+        matrix = np.ascontiguousarray(matrix, dtype=self.dtype)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if matrix.ndim != 2 or lengths.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"block shape mismatch: matrix {matrix.shape}, "
+                f"lengths {lengths.shape}"
+            )
+        self._handle.write(_BLOCK.pack(matrix.shape[0], matrix.shape[1]))
+        self._handle.write(matrix.tobytes())
+        self._handle.write(lengths.tobytes())
+        self._blocks += 1
+
+    def finalize(self) -> Path:
+        """Patch the block count into the header and rename into place."""
+        if self._handle is None:
+            raise ValueError("spill writer is closed")
+        self._handle.seek(0)
+        self._handle.write(
+            _HEADER.pack(
+                MAGIC, VERSION, self.dtype.itemsize, self.length, self._blocks
+            )
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+        os.replace(self._tmp, self.path)
+        return self.path
+
+    def abort(self) -> None:
+        """Drop the half-written temp file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._tmp.unlink(missing_ok=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if getattr(self, "_handle", None) is not None:
+            self.abort()
+
+
+class SpillReader:
+    """Zero-copy block replay over an mmap of a finalized spill file.
+
+    Each :meth:`blocks` pass yields ``(matrix, lengths)`` views backed
+    directly by the mapping — no block is ever copied into the heap, so
+    a replayed epoch's resident set is whatever the kernel keeps paged
+    in, bounded by the block size just like live generation.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("rb")
+        try:
+            self._map = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as error:
+            self._file.close()
+            raise SpillFormatError(f"{self.path}: empty spill file") from error
+        try:
+            header = self._map[: _HEADER.size]
+            if len(header) < _HEADER.size:
+                raise SpillFormatError(f"{self.path}: truncated header")
+            magic, version, itemsize, length, blocks = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise SpillFormatError(f"{self.path}: not a corpus spill file")
+            if version != VERSION:
+                raise SpillFormatError(
+                    f"{self.path}: spill version {version}, expected {VERSION}"
+                )
+            if itemsize not in (4, 8):
+                raise SpillFormatError(
+                    f"{self.path}: bad index itemsize {itemsize}"
+                )
+        except SpillFormatError:
+            self.close()
+            raise
+        self.dtype = np.dtype(np.int32 if itemsize == 4 else np.int64)
+        self.length = int(length)
+        self.num_blocks = int(blocks)
+
+    def blocks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield every ``(matrix, lengths)`` block, in append order."""
+        if self._map is None:
+            raise ValueError("spill reader is closed")
+        offset = _HEADER.size
+        size = len(self._map)
+        for _ in range(self.num_blocks):
+            if offset + _BLOCK.size > size:
+                raise SpillFormatError(f"{self.path}: truncated block header")
+            num_walks, width = _BLOCK.unpack_from(self._map, offset)
+            offset += _BLOCK.size
+            matrix_bytes = num_walks * width * self.dtype.itemsize
+            lengths_bytes = num_walks * 8
+            if offset + matrix_bytes + lengths_bytes > size:
+                raise SpillFormatError(f"{self.path}: truncated block data")
+            matrix = np.frombuffer(
+                self._map, dtype=self.dtype, count=num_walks * width,
+                offset=offset,
+            ).reshape(num_walks, width)
+            offset += matrix_bytes
+            lengths = np.frombuffer(
+                self._map, dtype=np.int64, count=num_walks, offset=offset
+            )
+            offset += lengths_bytes
+            yield matrix, lengths
+
+    def corpora(self, graph: HeteroGraph | None = None) -> Iterator[WalkCorpus]:
+        """The blocks wrapped as :class:`WalkCorpus` objects."""
+        for matrix, lengths in self.blocks():
+            yield WalkCorpus(matrix, lengths, self.length, graph)
+
+    def close(self) -> None:
+        if getattr(self, "_map", None) is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # a replayed block array still points into the mapping;
+                # the OS reclaims it when the last view is collected
+                return
+            self._map = None
+        if getattr(self, "_file", None) is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "SpillReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()

@@ -1,0 +1,125 @@
+"""Corpus spill file: roundtrip, atomicity, format validation."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.walks.spill import (
+    MAGIC,
+    SpillFormatError,
+    SpillReader,
+    SpillWriter,
+)
+
+
+def _blocks(dtype=np.int64):
+    rng = np.random.default_rng(0)
+    out = []
+    for walks in (5, 3, 7):
+        matrix = rng.integers(0, 50, size=(walks, 8)).astype(dtype)
+        lengths = rng.integers(2, 9, size=walks).astype(np.int64)
+        out.append((matrix, lengths))
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_blocks_replay_identically(self, tmp_path, dtype):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=dtype)
+        blocks = _blocks(dtype)
+        for matrix, lengths in blocks:
+            writer.append(matrix, lengths)
+        writer.finalize()
+        with SpillReader(path) as reader:
+            assert reader.dtype == np.dtype(dtype)
+            assert reader.length == 8
+            assert reader.num_blocks == len(blocks)
+            replayed = list(reader.blocks())
+        assert len(replayed) == len(blocks)
+        for (m_in, l_in), (m_out, l_out) in zip(blocks, replayed):
+            assert np.array_equal(m_in, m_out)
+            assert np.array_equal(l_in, l_out)
+            assert m_out.dtype == np.dtype(dtype)
+
+    def test_multiple_replay_passes(self, tmp_path):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        for matrix, lengths in _blocks():
+            writer.append(matrix, lengths)
+        writer.finalize()
+        with SpillReader(path) as reader:
+            first = [m.copy() for m, _ in reader.blocks()]
+            second = [m.copy() for m, _ in reader.blocks()]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_corpora_wrapper(self, tmp_path):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        blocks = _blocks()
+        for matrix, lengths in blocks:
+            writer.append(matrix, lengths)
+        writer.finalize()
+        with SpillReader(path) as reader:
+            corpora = list(reader.corpora())
+        assert [c.matrix.shape[0] for c in corpora] == [5, 3, 7]
+        assert all(c.length == 8 for c in corpora)
+
+
+class TestAtomicity:
+    def test_no_file_until_finalize(self, tmp_path):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        matrix, lengths = _blocks()[0]
+        writer.append(matrix, lengths)
+        assert not path.exists()  # still in <path>.tmp
+        writer.finalize()
+        assert path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_abort_drops_temp(self, tmp_path):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        matrix, lengths = _blocks()[0]
+        writer.append(matrix, lengths)
+        writer.abort()
+        assert not path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_append_after_finalize_rejected(self, tmp_path):
+        path = tmp_path / "corpus.spill"
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        matrix, lengths = _blocks()[0]
+        writer.append(matrix, lengths)
+        writer.finalize()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(matrix, lengths)
+
+
+class TestFormatValidation:
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.spill"
+        path.write_bytes(b"NOTSPILL" + b"\x00" * 24)
+        with pytest.raises(SpillFormatError, match="not a corpus spill"):
+            SpillReader(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.spill"
+        path.write_bytes(b"")
+        with pytest.raises(SpillFormatError, match="empty"):
+            SpillReader(path)
+
+    def test_rejects_truncated_block(self, tmp_path):
+        path = tmp_path / "torn.spill"
+        header = struct.Struct("<8sIIIQ").pack(MAGIC, 1, 8, 8, 1)
+        # block header promises 5 walks x 8 but supplies no data
+        path.write_bytes(header + struct.Struct("<QQ").pack(5, 8))
+        with SpillReader(path) as reader:
+            with pytest.raises(SpillFormatError, match="truncated"):
+                list(reader.blocks())
+
+    def test_rejects_float_dtype(self, tmp_path):
+        with pytest.raises(ValueError, match="int32/int64"):
+            SpillWriter(tmp_path / "f.spill", length=8, dtype=np.float64)

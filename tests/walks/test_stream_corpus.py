@@ -1,0 +1,144 @@
+"""Streaming corpus generation: block laws, determinism, dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.fixtures import two_view_toy
+from repro.graph.csr import csr_adjacency
+from repro.graph.views import separate_views
+from repro.walks import LockstepWalker, build_corpus, stream_corpus
+from repro.walks.corpus import corpus_index_dtype, walk_start_nodes
+from repro.walks.policies import make_policy
+
+
+def _view():
+    graph, _ = two_view_toy()
+    return separate_views(graph)[0]
+
+
+def _walker(view, seed):
+    rng = np.random.default_rng(seed)
+    return LockstepWalker(view, make_policy("biased"), rng=rng), rng
+
+
+class TestSingleBlockEquivalence:
+    def test_one_block_is_bitwise_build_corpus(self):
+        view = _view()
+        walker_a, rng_a = _walker(view, 7)
+        dense = build_corpus(
+            view, walker_a, length=8, floor=2, cap=3, rng=rng_a
+        )
+        walker_b, rng_b = _walker(view, 7)
+        blocks = list(
+            stream_corpus(view, walker_b, length=8, floor=2, cap=3, rng=rng_b)
+        )
+        assert len(blocks) == 1
+        assert np.array_equal(blocks[0].matrix, dense.matrix)
+        assert np.array_equal(blocks[0].lengths, dense.lengths)
+
+    def test_rng_state_matches_after_draw(self):
+        # downstream draws (negative sampling) must see the same stream
+        view = _view()
+        walker_a, rng_a = _walker(view, 3)
+        build_corpus(view, walker_a, length=8, floor=2, cap=3, rng=rng_a)
+        walker_b, rng_b = _walker(view, 3)
+        list(stream_corpus(view, walker_b, length=8, floor=2, cap=3, rng=rng_b))
+        assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+
+class TestMultiBlock:
+    def test_deterministic_for_fixed_seed_and_block_size(self):
+        view = _view()
+        walker_a, rng_a = _walker(view, 11)
+        first = [
+            (c.matrix.copy(), c.lengths.copy())
+            for c in stream_corpus(
+                view, walker_a, length=8, floor=2, cap=3, rng=rng_a,
+                block_walks=4,
+            )
+        ]
+        walker_b, rng_b = _walker(view, 11)
+        second = [
+            (c.matrix.copy(), c.lengths.copy())
+            for c in stream_corpus(
+                view, walker_b, length=8, floor=2, cap=3, rng=rng_b,
+                block_walks=4,
+            )
+        ]
+        assert len(first) == len(second) > 1
+        for (m1, l1), (m2, l2) in zip(first, second):
+            assert np.array_equal(m1, m2)
+            assert np.array_equal(l1, l2)
+
+    def test_blocks_bounded_and_starts_preserved(self):
+        view = _view()
+        walker, rng = _walker(view, 5)
+        expected_starts = walk_start_nodes(
+            csr_adjacency(view.graph).degrees,
+            policy=walker.policy,
+            floor=2,
+            cap=3,
+        )
+        blocks = list(
+            stream_corpus(
+                view, walker, length=8, floor=2, cap=3, rng=rng, block_walks=4
+            )
+        )
+        for block in blocks:
+            assert block.matrix.shape[0] <= 4
+        # every start node walks exactly as often as the dense count law
+        streamed_starts = np.concatenate([b.matrix[:, 0] for b in blocks])
+        assert np.array_equal(
+            np.sort(streamed_starts), np.sort(expected_starts)
+        )
+
+    def test_block_walks_must_be_positive(self):
+        view = _view()
+        walker, rng = _walker(view, 0)
+        with pytest.raises(ValueError, match="block_walks"):
+            next(
+                stream_corpus(
+                    view, walker, length=8, floor=2, cap=3, rng=rng,
+                    block_walks=0,
+                )
+            )
+
+
+class TestIndexDtype:
+    def test_corpus_index_dtype_thresholds(self):
+        assert corpus_index_dtype(10) == np.dtype(np.int32)
+        assert corpus_index_dtype(2**31 - 1) == np.dtype(np.int32)
+        assert corpus_index_dtype(2**31) == np.dtype(np.int64)
+
+    def test_int32_blocks(self):
+        view = _view()
+        walker, rng = _walker(view, 9)
+        blocks = list(
+            stream_corpus(
+                view, walker, length=8, floor=2, cap=3, rng=rng,
+                block_walks=4, index_dtype=np.dtype(np.int32),
+            )
+        )
+        for block in blocks:
+            assert block.matrix.dtype == np.int32
+
+    def test_int32_values_match_int64(self):
+        view = _view()
+        walker_a, rng_a = _walker(view, 13)
+        wide = [
+            c.matrix.copy()
+            for c in stream_corpus(
+                view, walker_a, length=8, floor=2, cap=3, rng=rng_a,
+                block_walks=4,
+            )
+        ]
+        walker_b, rng_b = _walker(view, 13)
+        narrow = [
+            c.matrix.copy()
+            for c in stream_corpus(
+                view, walker_b, length=8, floor=2, cap=3, rng=rng_b,
+                block_walks=4, index_dtype=np.dtype(np.int32),
+            )
+        ]
+        for m64, m32 in zip(wide, narrow):
+            assert np.array_equal(m64, m32.astype(np.int64))
