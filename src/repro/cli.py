@@ -7,7 +7,9 @@ Subcommands::
     repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32]
                    [--checkpoint-dir ckpts/ --checkpoint-every 2 --resume]
                    [--health-policy raise|rollback|skip]
-                   [--report run.json --trace] ...
+                   [--report run.json --trace]
+                   [--shard-timeout 60 --on-spill-error degrade|raise]
+                   [--chaos worker.crash,spill.bitflip] ...
     repro classify <graph.tsv> <labels.tsv> [--method transn] ...
     repro linkpred <graph.tsv> [--method transn] [--removal 0.4] ...
 
@@ -79,6 +81,8 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
     stream = getattr(args, "stream_corpus", False)
     corpus_budget_mb = getattr(args, "corpus_budget_mb", None)
     spill_dir = getattr(args, "spill_dir", None)
+    on_spill_error = getattr(args, "on_spill_error", "degrade")
+    shard_timeout = getattr(args, "shard_timeout", None)
     dtype = getattr(args, "dtype", "float64")
     if name == "transn":
         try:
@@ -92,6 +96,8 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 stream_corpus=stream,
                 corpus_budget_mb=corpus_budget_mb,
                 spill_dir=spill_dir,
+                on_spill_error=on_spill_error,
+                shard_timeout=shard_timeout,
                 dtype=dtype,
                 **({} if walk_policy is None else {"walk_policy": walk_policy}),
             )
@@ -116,6 +122,16 @@ def _make_method(name: str, graph: HeteroGraph, args: argparse.Namespace):
                 "--stream-corpus/--corpus-budget-mb/--spill-dir are only "
                 "supported for --method transn; baselines materialize "
                 "their corpora"
+            )
+        if shard_timeout is not None:
+            raise SystemExit(
+                "--shard-timeout is only supported for --method transn; "
+                "baselines sample their corpora serially"
+            )
+        if on_spill_error != "degrade":
+            raise SystemExit(
+                "--on-spill-error is only supported for --method transn; "
+                "baselines never spill corpora"
             )
         if dtype != "float64":
             raise SystemExit(
@@ -216,10 +232,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.engine import faults
+
     graph = load_graph(args.graph)
-    method = _make_method(args.method, graph, args)
-    print(f"training {method.name} (d={args.dim}) on {graph} ...")
-    embeddings = method.fit(graph)
+    injector = None
+    if getattr(args, "chaos", None):
+        if args.method.lower() != "transn":
+            raise SystemExit(
+                "--chaos is only supported for --method transn; baselines "
+                "have no hardened parallel/streaming paths to exercise"
+            )
+        try:
+            injector = faults.FaultInjector.from_spec(
+                args.chaos, seed=args.seed
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        if (
+            "worker.hang" in injector.armed_points()
+            and getattr(args, "shard_timeout", None) is None
+        ):
+            raise SystemExit(
+                "--chaos worker.hang needs --shard-timeout (the watchdog "
+                "is what detects the hang)"
+            )
+        faults.activate(injector)
+        print(f"chaos armed: {', '.join(injector.armed_points())}")
+    try:
+        method = _make_method(args.method, graph, args)
+        print(f"training {method.name} (d={args.dim}) on {graph} ...")
+        embeddings = method.fit(graph)
+    finally:
+        if injector is not None:
+            faults.activate(None)
+    if injector is not None:
+        fired = ", ".join(
+            f"{point} x{count}"
+            for point, count in sorted(injector.fired.items())
+        )
+        print(f"chaos faults fired: {fired or 'none'}")
     _print_engine_summary(method)
     save_embeddings(embeddings, args.out)
     print(f"wrote {len(embeddings)} embeddings to {args.out}")
@@ -315,6 +366,22 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         "mmap-replay later epochs); needs --stream-corpus",
     )
     parser.add_argument(
+        "--on-spill-error",
+        choices=("degrade", "raise"),
+        default="degrade",
+        help="TransN only: what a corrupt or unwritable spill file does — "
+        "degrade (default: record the incident, disable replay, "
+        "regenerate the recorded draw) or raise (abort the run)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="TransN only: per-shard watchdog deadline in seconds for "
+        "parallel corpus builds (needs --workers >= 1); a hung shard's "
+        "pool is killed and its work replayed in-process bit-identically",
+    )
+    parser.add_argument(
         "--dtype",
         choices=("float32", "float64"),
         default="float64",
@@ -385,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include tracemalloc memory peaks in the report's spans "
         "(needs --report; roughly doubles allocation cost)",
+    )
+    p_train.add_argument(
+        "--chaos",
+        default=None,
+        metavar="POINT[:TIMES][,...]",
+        help="arm deterministic fault injection for this run (transn "
+        "only): comma-separated fault points, e.g. "
+        "'worker.crash,spill.bitflip' — the run must survive them; "
+        "incidents land in --report (docs/fault_tolerance.md)",
     )
     p_train.set_defaults(func=_cmd_train)
 

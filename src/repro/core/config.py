@@ -120,6 +120,18 @@ class TransNConfig:
             ``stream_corpus=True``; conflicts with the
             relation-balanced policy (its per-epoch walk shares need
             fresh draws).
+        on_spill_error: "degrade" (default) survives a corrupt,
+            truncated, or unwritable spill file — the incident lands in
+            the run report (``spill/degraded``), replay is disabled for
+            the run, and the recorded draw is regenerated from seeds
+            captured at record time (``docs/fault_tolerance.md``);
+            "raise" propagates the error instead.
+        shard_timeout: per-shard watchdog deadline (seconds) for
+            parallel corpus builds.  A shard outliving it is treated as
+            hung: the pool is killed and the remaining shards replay
+            in-process with the same seeds (bit-identical output), then
+            the pool is relaunched under backoff.  ``None`` (default)
+            disables the watchdog.  Needs ``workers >= 1``.
         dtype: "float64" (default; the determinism-golden layout) or
             "float32" — halves embedding, translator, and Adam-moment
             memory at a documented loss tolerance.
@@ -163,6 +175,8 @@ class TransNConfig:
     stream_corpus: bool = False
     corpus_budget_mb: float | None = None
     spill_dir: str | None = None
+    on_spill_error: str = "degrade"
+    shard_timeout: float | None = None
     dtype: str = "float64"
 
     seed: int = 0
@@ -234,6 +248,18 @@ class TransNConfig:
                     "spill_dir conflicts with walk_policy="
                     "'relation-balanced': replayed corpora would ignore "
                     "the per-epoch walk shares"
+                )
+        if self.on_spill_error not in ("degrade", "raise"):
+            raise ValueError(
+                f"unknown on_spill_error {self.on_spill_error!r}; "
+                "expected 'degrade' or 'raise'"
+            )
+        if self.shard_timeout is not None:
+            require(self.shard_timeout > 0, "shard_timeout", "must be > 0")
+            if self.workers < 1:
+                raise ValueError(
+                    "shard_timeout watches parallel corpus shards and "
+                    f"needs workers >= 1, got workers={self.workers}"
                 )
         if self.stream_corpus and self.prefetch:
             raise ValueError(

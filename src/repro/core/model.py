@@ -33,6 +33,7 @@ from repro.engine import (
     Tracer,
     TrainingLoop,
 )
+from repro.engine import faults
 from repro.engine.parallel import ParallelRuntime, pair_rng
 from repro.graph.heterograph import HeteroGraph, NodeId
 from repro.graph.views import build_view_pairs, separate_views
@@ -171,7 +172,9 @@ class TransN:
         # the worker pool (see repro.engine.parallel) — and torn down by
         # a finalizer when the model is collected
         self._parallel = (
-            ParallelRuntime(cfg.workers) if cfg.workers > 0 else None
+            ParallelRuntime(cfg.workers, shard_timeout=cfg.shard_timeout)
+            if cfg.workers > 0
+            else None
         )
         if self._parallel is not None:
             weakref.finalize(self, self._parallel.shutdown)
@@ -218,6 +221,7 @@ class TransN:
                     if cfg.spill_dir is not None
                     else None
                 ),
+                on_spill_error=cfg.on_spill_error,
             )
             for view_code, view in enumerate(self.views)
         ]
@@ -513,7 +517,15 @@ class TransN:
             and self.config.balance_strength > 0
             and len(self.single_trainers) > 1
         )
-        observing = report is not None or metrics is not None or balancing
+        # an armed fault injector (--chaos / a chaos test) forces metrics
+        # on too: its faults/* incidents must reach the run report
+        chaos = faults.get_active()
+        observing = (
+            report is not None
+            or metrics is not None
+            or balancing
+            or chaos is not None
+        )
         if observing and metrics is None:
             metrics = MetricsRegistry()
         owns_tracer = observing and tracer is None
@@ -526,6 +538,8 @@ class TransN:
                 trainer.bind_metrics(metrics)
             if self._parallel is not None:
                 self._parallel.bind_metrics(metrics)
+            if chaos is not None:
+                chaos.bind_metrics(metrics)
 
         engine_callbacks: list[Callback] = []
         if balancing:

@@ -26,6 +26,12 @@ the same three pieces:
   versioned JSON file — all zero-cost via the :data:`NULL_REGISTRY` /
   :data:`NULL_TRACER` no-op singletons when nothing asks for a report.
 
+- a **fault-injection harness** (:mod:`repro.engine.faults`): the
+  :class:`FaultInjector` deterministically arms named fault points
+  (worker crashes/hangs, spill bit rot, checkpoint write errors) so
+  chaos tests and ``--chaos`` runs can prove the hardening below
+  actually preserves bit-identical results;
+
 - a **parallel layer** (see ``docs/parallelism.md``): the
   :class:`ParallelRuntime` fans corpus generation across a process pool
   over shared-memory CSR arrays (:class:`SharedCSR`), trains
@@ -59,6 +65,14 @@ from repro.engine.checkpoint import (
     dump_state,
     load_state,
     non_finite_entries,
+)
+from repro.engine.faults import (
+    FAULT_POINTS,
+    FaultInjected,
+    FaultInjector,
+    activate,
+    get_active,
+    scoped,
 )
 from repro.engine.loop import (
     CallablePhase,
@@ -111,6 +125,9 @@ __all__ = [
     "CorpusPipeline",
     "EarlyStopping",
     "EdgeSamplingPipeline",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultInjector",
     "LinearLRDecay",
     "LoopResult",
     "LossHistory",
@@ -139,12 +156,15 @@ __all__ = [
     "Tracer",
     "TrainingLoop",
     "TrainingState",
+    "activate",
     "attach_shared_csr",
     "conflict_waves",
     "dump_state",
+    "get_active",
     "load_report",
     "load_state",
     "non_finite_entries",
     "pair_rng",
+    "scoped",
     "single_view_seed",
 ]

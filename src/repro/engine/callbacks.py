@@ -19,9 +19,11 @@ from __future__ import annotations
 import math
 import statistics
 import time
+import warnings
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
+from repro.engine.faults import fire_os_error
 from repro.engine.observability import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -282,6 +284,12 @@ class Checkpointer(Callback):
     attach it *before* this checkpointer: a guard that requested a
     rollback marks the epoch discarded (``loop.retry_requested``), and
     the checkpointer refuses to persist the poisoned state.
+
+    A failed write (disk full, permission loss, or the injected
+    ``checkpoint.write_error`` fault) never kills the run: checkpoints
+    are an optimization, not a correctness requirement, so the error is
+    logged as a ``checkpoint/write_errors`` incident and training
+    continues — the next cadence epoch simply tries again.
     """
 
     STATE_FORMAT = 1
@@ -300,23 +308,38 @@ class Checkpointer(Callback):
         self.every = every
         self.save_on_train_end = save_on_train_end
         self._last_saved_step: int | None = None
+        self.write_errors = 0
 
     def _save(self, loop: "TrainingLoop", step: int) -> None:
         loop_state = loop.state_dict()
         # on_epoch_end fires before the loop advances its counter, so
         # stamp the step this checkpoint actually represents
         loop_state["epochs_completed"] = step
-        path = self.manager.save(
-            {
-                "format": self.STATE_FORMAT,
-                "step": step,
-                "model": self.state_provider.state_dict(),
-                "loop": loop_state,
-            },
-            step=step,
-        )
-        self._last_saved_step = step
         metrics = _loop_metrics(loop)
+        try:
+            fire_os_error("checkpoint.write_error")
+            path = self.manager.save(
+                {
+                    "format": self.STATE_FORMAT,
+                    "step": step,
+                    "model": self.state_provider.state_dict(),
+                    "loop": loop_state,
+                },
+                step=step,
+            )
+        except OSError as error:
+            self.write_errors += 1
+            warnings.warn(
+                f"checkpoint save at step {step} failed ({error}); "
+                "training continues without this snapshot",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            metrics.incident(
+                "checkpoint/write_errors", step=step, error=str(error)
+            )
+            return
+        self._last_saved_step = step
         if metrics.enabled:
             size = path.stat().st_size
             metrics.counter("checkpoint/saves")

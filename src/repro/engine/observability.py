@@ -214,6 +214,17 @@ class MetricsRegistry:
             )
             self._event_seq += 1
 
+    def incident(self, name: str, message: str = "", **data: Any) -> None:
+        """Record a fault-tolerance incident: counter ``name`` + event.
+
+        One call covers both views the run report offers on a handled
+        failure — the monotonic total (``counters[name]``) and the
+        bounded narrative entry (``events`` with ``kind=name``), so
+        degradation paths cannot bump one and forget the other.
+        """
+        self.counter(name, 1.0)
+        self.event(name, message, **data)
+
     def series_values(self, name: str) -> list[float]:
         """The retained tail of series ``name`` ([] when absent)."""
         series = self._series.get(name)
@@ -289,6 +300,9 @@ class NullRegistry(MetricsRegistry):
         return _NULL_CONTEXT
 
     def event(self, kind: str, message: str = "", **data: Any) -> None:
+        pass
+
+    def incident(self, name: str, message: str = "", **data: Any) -> None:
         pass
 
 

@@ -38,10 +38,27 @@ so it does not change results (the one documented exception: relation
 balancing scales are captured at schedule time, one epoch early — see
 ``docs/parallelism.md``).
 
-If the process pool dies mid-build (a worker segfaults or is OOM-killed)
-the runtime logs a ``parallel/fallback`` event and replays the exact
-shard computations in-process with the same per-shard seeds, producing a
-bit-identical corpus; the pool is not retried afterwards.
+Fault tolerance
+---------------
+Shard execution is hardened per failure mode, always preserving the
+determinism contract by replaying the failed shard's recorded seed:
+
+* an ordinary exception inside one worker shard (``MemoryError``, an
+  injected ``worker.exception``) retries *that shard only* in-process
+  (``parallel/shard_retry``) — the pool keeps serving the other shards;
+* a shard outliving ``shard_timeout`` trips a watchdog
+  (``parallel/shard_timeout``): finished shards are harvested, the hung
+  pool is killed, and the rest of the build runs in-process;
+* a vanished worker (segfault, OOM kill) surfaces as
+  :class:`BrokenProcessPool` and unfinished shards run in-process.
+
+A lost pool is relaunched at the next build under exponential backoff
+(``parallel/pool_relaunch``); once losses exceed ``max_pool_relaunches``
+the runtime demotes itself to in-process builds for the rest of the run
+(``parallel/fallback``, sticky).  Either way every corpus stays
+bit-identical to the same-config fault-free run.  The
+:mod:`repro.engine.faults` injector provides the controlled failures
+that exercise these paths.
 """
 
 from __future__ import annotations
@@ -50,6 +67,7 @@ import multiprocessing
 import time
 import uuid
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -57,6 +75,10 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.engine.faults import (
+    execute_worker_fault,
+    worker_fault_for_submission,
+)
 from repro.engine.observability import MetricsRegistry, NullRegistry
 from repro.graph.csr import CSRAdjacency, csr_adjacency
 from repro.graph.heterograph import HeteroGraph
@@ -248,6 +270,7 @@ def _walk_shard(
     length: int,
     seed: np.random.SeedSequence,
     unregister: bool,
+    fault: tuple[str, float] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Walk one contiguous shard of start nodes; runs inside a worker.
 
@@ -255,7 +278,12 @@ def _walk_shard(
     the attached shared-memory adjacency.  Returns the dense walk
     matrix, the per-walk lengths, and the elapsed wall seconds (folded
     into per-worker timers by the parent).
+
+    ``fault`` is a parent-ordered chaos action (crash/hang/raise) decided
+    by the active :class:`~repro.engine.faults.FaultInjector` at
+    submission time; ``None`` in production.
     """
+    execute_worker_fault(fault)
     begin = time.perf_counter()
     csr = attach_shared_csr(spec, unregister=unregister)
     walker = LockstepWalker(
@@ -326,15 +354,51 @@ class ParallelRuntime:
     One runtime serves a whole model fit.  The process pool is launched
     *eagerly* in ``__init__`` — on fork platforms the workers must be
     forked from the main thread before any prefetch/wave threads exist
-    (forking a multithreaded process can inherit held locks).
+    (forking a multithreaded process can inherit held locks).  A pool
+    *relaunch* after a mid-run loss (:meth:`_pool_ready`) cannot honor
+    that guarantee; workers only run NumPy walk kernels, which keeps the
+    inherited-lock risk confined to code that never takes locks.
+
+    Args:
+        workers: pool width; also sizes the wave/prefetch thread pools.
+        shard_timeout: per-shard watchdog deadline in seconds for
+            :meth:`_walk_sharded` (``None`` disables — a hung worker
+            then hangs the build, the pre-hardening behavior).
+        max_pool_relaunches: pool losses tolerated before the runtime
+            demotes itself to in-process builds for the rest of the run.
+        relaunch_backoff: base of the exponential relaunch delay,
+            ``relaunch_backoff * 2**(losses - 1)`` seconds.
     """
 
     def __init__(
-        self, workers: int, metrics: MetricsRegistry | None = None
+        self,
+        workers: int,
+        metrics: MetricsRegistry | None = None,
+        *,
+        shard_timeout: float | None = None,
+        max_pool_relaunches: int = 2,
+        relaunch_backoff: float = 0.1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {shard_timeout}"
+            )
+        if max_pool_relaunches < 0:
+            raise ValueError(
+                f"max_pool_relaunches must be >= 0, got {max_pool_relaunches}"
+            )
+        if relaunch_backoff < 0:
+            raise ValueError(
+                f"relaunch_backoff must be >= 0, got {relaunch_backoff}"
+            )
         self.workers = int(workers)
+        self.shard_timeout = (
+            None if shard_timeout is None else float(shard_timeout)
+        )
+        self.max_pool_relaunches = int(max_pool_relaunches)
+        self.relaunch_backoff = float(relaunch_backoff)
         self._metrics = metrics if metrics is not None else NullRegistry()
         # prefer fork: workers inherit the warm interpreter and attach
         # shared memory without re-importing the world
@@ -352,6 +416,7 @@ class ParallelRuntime:
         # own tracker on first attach and warn about "leaked" segments
         # (actually the owner's) when it exits
         resource_tracker.ensure_running()
+        self._context = context
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=context
         )
@@ -361,6 +426,7 @@ class ParallelRuntime:
         #: id(csr) -> (csr, SharedCSR); the csr reference keeps the id valid
         self._shared: dict[int, tuple[CSRAdjacency, SharedCSR]] = {}
         self._pool_broken = False
+        self._pool_failures = 0
         self._closed = False
         self._metrics.gauge("parallel/workers", self.workers)
 
@@ -372,8 +438,85 @@ class ParallelRuntime:
 
     @property
     def pool_broken(self) -> bool:
-        """Whether a crash demoted corpus builds to in-process mode."""
+        """Whether corpus builds are stickily demoted to in-process mode."""
         return self._pool_broken
+
+    @property
+    def pool_failures(self) -> int:
+        """How many times the worker pool has been lost so far."""
+        return self._pool_failures
+
+    def _demote(self) -> None:
+        """Give up on pooled execution for the rest of the run (sticky)."""
+        if self._pool_broken:
+            return
+        self._pool_broken = True
+        self._metrics.incident(
+            "parallel/fallback",
+            "pool relaunch budget spent; corpus builds stay in-process",
+            failures=self._pool_failures,
+        )
+
+    def _lose_pool(self, label: str) -> None:
+        """Discard a broken or hung pool and charge the relaunch budget.
+
+        Remaining workers are killed outright — a hung worker would
+        otherwise block a waiting ``shutdown()`` forever.  Overspending
+        ``max_pool_relaunches`` demotes the runtime on the spot.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_failures += 1
+        if pool is not None:
+            for proc in list((pool._processes or {}).values()):
+                proc.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._metrics.event(
+            "parallel/pool_lost",
+            "worker pool lost; unfinished shards replay in-process",
+            label=label,
+            failures=self._pool_failures,
+        )
+        if self._pool_failures > self.max_pool_relaunches:
+            self._demote()
+
+    def _pool_ready(self) -> bool:
+        """Whether pooled execution is available, relaunching if needed.
+
+        A lost pool is relaunched lazily at the next build under
+        exponential backoff (``relaunch_backoff * 2**(losses - 1)``
+        seconds); a failed relaunch counts as another loss.  Returns
+        ``False`` when the runtime is (or just became) demoted, or when
+        this build should run in-process while the budget recovers.
+        """
+        if self._pool_broken:
+            return False
+        if self._pool is not None:
+            return True
+        delay = self.relaunch_backoff * (2 ** max(self._pool_failures - 1, 0))
+        if delay > 0:
+            time.sleep(delay)
+        pool = None
+        try:
+            resource_tracker.ensure_running()
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context
+            )
+            pool.submit(_ping).result(timeout=60.0)
+        except Exception:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._pool_failures += 1
+            if self._pool_failures > self.max_pool_relaunches:
+                self._demote()
+            return False
+        self._pool = pool
+        self._metrics.incident(
+            "parallel/pool_relaunch",
+            "worker pool relaunched after loss",
+            backoff_seconds=delay,
+            failures=self._pool_failures,
+        )
+        return True
 
     def _shared_for(
         self, csr: CSRAdjacency, columns: frozenset[str], is_heter: bool
@@ -424,19 +567,31 @@ class ParallelRuntime:
 
         The shard→seed pairing is positional and unconditional (empty
         shards still consume their child), so the output depends only on
-        the shard split and the seeds.  On :class:`BrokenProcessPool`
-        every shard is replayed in-process with the same seeds —
-        bit-identical results — and the pool is marked broken for the
-        rest of the run.
+        the shard split and the seeds.  Failure handling, per shard:
+
+        * an ordinary in-worker exception (``MemoryError``, an injected
+          ``worker.exception``) retries *that shard only* in-process
+          with the same seed (``parallel/shard_retry``) — the pool keeps
+          serving the remaining shards;
+        * a shard outliving ``shard_timeout`` trips the watchdog
+          (``parallel/shard_timeout``): already-finished shards are
+          harvested, the hung pool is killed, the rest runs in-process;
+        * :class:`BrokenProcessPool` (worker segfaulted / OOM- or
+          SIGKILLed) keeps whatever completed and finishes the rest
+          in-process.
+
+        Every replay uses the recorded child seed, so the corpus is
+        bit-identical however many shards failed.  Pool losses are
+        charged to the relaunch budget via :meth:`_lose_pool`.
         """
         results: list[tuple[np.ndarray, np.ndarray] | None]
         results = [None] * len(shards)
-        use_pool = not self._pool_broken
-        if use_pool:
+        if self._pool_ready():
             shared = self._shared_for(
                 csr, policy.required_columns, is_heter
             )
-            futures = {}
+            futures: dict[int, Any] = {}
+            pool_lost = False
             try:
                 for k, shard in enumerate(shards):
                     if shard.size == 0:
@@ -449,34 +604,72 @@ class ParallelRuntime:
                         length,
                         children[k],
                         self._attach_unregister,
-                    )
-                for k, future in futures.items():
-                    matrix, lengths, elapsed = future.result()
-                    results[k] = (matrix, lengths)
-                    self._metrics.record_seconds(
-                        f"parallel/worker/{k}/seconds", elapsed
+                        worker_fault_for_submission(),
                     )
             except BrokenProcessPool:
-                self._pool_broken = True
-                use_pool = False
-                results = [None] * len(shards)
-                self._metrics.counter("parallel/fallback")
-                self._metrics.event(
-                    "parallel/fallback",
-                    "worker pool broke; replaying shards in-process",
-                    label=label,
-                )
-        if not use_pool:
-            for k, shard in enumerate(shards):
-                if shard.size == 0:
-                    continue
-                matrix, lengths, elapsed = _walk_shard_local(
-                    csr, policy, shard, length, children[k], is_heter
-                )
+                pool_lost = True
+            pending = list(futures.items())
+            for n, (k, future) in enumerate(pending):
+                if pool_lost:
+                    break
+                try:
+                    matrix, lengths, elapsed = future.result(
+                        timeout=self.shard_timeout
+                    )
+                except FuturesTimeout:
+                    self._metrics.incident(
+                        "parallel/shard_timeout",
+                        "shard outlived the watchdog; killing the pool",
+                        label=label,
+                        shard=k,
+                        timeout_seconds=self.shard_timeout,
+                    )
+                    # harvest the shards that did finish before the axe
+                    for k2, later in pending[n + 1 :]:
+                        if not later.done():
+                            continue
+                        try:
+                            m2, l2, e2 = later.result()
+                        except Exception:
+                            continue  # replayed in-process below
+                        results[k2] = (m2, l2)
+                        self._metrics.record_seconds(
+                            f"parallel/worker/{k2}/seconds", e2
+                        )
+                    pool_lost = True
+                    break
+                except BrokenProcessPool:
+                    pool_lost = True
+                    break
+                except Exception as exc:
+                    # one bad shard must not abort the run: replay it
+                    # alone, same seed, while the pool keeps serving
+                    self._metrics.incident(
+                        "parallel/shard_retry",
+                        "worker shard failed; retrying in-process",
+                        label=label,
+                        shard=k,
+                        error=repr(exc),
+                    )
+                    matrix, lengths, elapsed = _walk_shard_local(
+                        csr, policy, shards[k], length, children[k], is_heter
+                    )
                 results[k] = (matrix, lengths)
                 self._metrics.record_seconds(
                     f"parallel/worker/{k}/seconds", elapsed
                 )
+            if pool_lost:
+                self._lose_pool(label)
+        for k, shard in enumerate(shards):
+            if shard.size == 0 or results[k] is not None:
+                continue
+            matrix, lengths, elapsed = _walk_shard_local(
+                csr, policy, shard, length, children[k], is_heter
+            )
+            results[k] = (matrix, lengths)
+            self._metrics.record_seconds(
+                f"parallel/worker/{k}/seconds", elapsed
+            )
         return results
 
     def build_corpus(
@@ -666,22 +859,46 @@ class ParallelRuntime:
 
         Order matters: prefetch threads feed the process pool, so they
         drain first; segments unlink last, once nothing can attach.
+        Each resource is released independently — a pool that broke or
+        hung mid-epoch must not leak the thread pools or the shared
+        segments, so no step's failure skips the rest.
         """
         if self._closed:
             return
         self._closed = True
-        if self._prefetch_pool is not None:
-            self._prefetch_pool.shutdown(wait=True, cancel_futures=True)
-            self._prefetch_pool = None
-        if self._wave_pool is not None:
-            self._wave_pool.shutdown(wait=True)
-            self._wave_pool = None
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-        for _, publication in self._shared.values():
-            publication.close()
-        self._shared.clear()
+        prefetch, self._prefetch_pool = self._prefetch_pool, None
+        wave, self._wave_pool = self._wave_pool, None
+        pool, self._pool = self._pool, None
+        shared, self._shared = list(self._shared.values()), {}
+        try:
+            if prefetch is not None:
+                prefetch.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            if wave is not None:
+                wave.shutdown(wait=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for _, publication in shared:
+            try:
+                publication.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    #: alias: ``close()`` and ``shutdown()`` release the same resources
+    close = shutdown
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
 
     def __enter__(self) -> "ParallelRuntime":
         return self

@@ -39,7 +39,12 @@ from repro.walks.corpus import (
     extract_index_pairs,
     stream_corpus,
 )
-from repro.walks.spill import SpillFormatError, SpillReader, SpillWriter
+from repro.walks.spill import (
+    SpillCorruptionError,
+    SpillFormatError,
+    SpillReader,
+    SpillWriter,
+)
 from repro.walks.metapath import MetapathWalker
 from repro.walks.node2vec import Node2VecWalker
 from repro.walks.policies import (
@@ -90,6 +95,7 @@ __all__ = [
     "SpillWriter",
     "SpillReader",
     "SpillFormatError",
+    "SpillCorruptionError",
     "extract_index_pairs",
     "walk_counts",
     "walks_per_node",

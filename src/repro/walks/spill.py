@@ -8,19 +8,32 @@ past, and subsequent draws replay the file through ``mmap`` — the kernel
 pages blocks in and out on demand, so replay keeps the same bounded
 working set as generation while skipping the walker entirely.
 
-File format (little-endian, version 1)::
+File format (little-endian, version 2)::
 
-    header   magic b"TNSPILL1" | u32 version | u32 index itemsize (4|8)
+    header   magic b"TNSPILL2" | u32 version | u32 index itemsize (4|8)
              | u32 walk length | u64 block count
-    block    u64 num_walks | u64 width
+    block    u64 num_walks | u64 width | u32 crc32
              | num_walks*width index matrix (int32 or int64)
              | num_walks int64 lengths
+
+The per-block ``crc32`` covers the matrix bytes then the lengths bytes,
+so a replay detects bit rot (a flipped byte on a failing disk) at the
+corrupted block — raised as :class:`SpillCorruptionError` — instead of
+silently training on garbage walks.  Version-1 files (``TNSPILL1``)
+carry no checksums and are rejected with a clear message; delete and
+re-record them.
 
 Writers append to ``<path>.tmp`` and atomically rename on
 :meth:`SpillWriter.finalize`, so a crashed or abandoned epoch never
 leaves a half-written file where a replay would look for it; int32
 index matrices (graphs under ``2**31`` nodes —
 :func:`repro.walks.corpus.corpus_index_dtype`) halve the file.
+
+Fault points (:mod:`repro.engine.faults`, imported lazily so this
+module stays engine-independent): ``spill.write_enospc`` raises a disk-
+full ``OSError`` on the next :meth:`SpillWriter.append`;
+``spill.bitflip`` flips one deterministic byte of the just-finalized
+file, simulating bit rot the CRC must catch.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from __future__ import annotations
 import mmap
 import os
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterator
 
@@ -36,14 +50,19 @@ import numpy as np
 from repro.graph.heterograph import HeteroGraph
 from repro.walks.corpus import WalkCorpus
 
-MAGIC = b"TNSPILL1"
-VERSION = 1
+MAGIC = b"TNSPILL2"
+LEGACY_MAGIC = b"TNSPILL1"
+VERSION = 2
 _HEADER = struct.Struct("<8sIIIQ")  # magic, version, itemsize, length, blocks
-_BLOCK = struct.Struct("<QQ")  # num_walks, width
+_BLOCK = struct.Struct("<QQI")  # num_walks, width, crc32
 
 
 class SpillFormatError(ValueError):
     """The file is not a (complete, current-version) corpus spill."""
+
+
+class SpillCorruptionError(SpillFormatError):
+    """A block's payload does not match its recorded CRC32 (bit rot)."""
 
 
 class SpillWriter:
@@ -66,14 +85,18 @@ class SpillWriter:
         self._tmp.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self._tmp.open("wb")
         self._blocks = 0
+        self._first_block_span: tuple[int, int] | None = None
         self._handle.write(
             _HEADER.pack(MAGIC, VERSION, dtype.itemsize, self.length, 0)
         )
 
     def append(self, matrix: np.ndarray, lengths: np.ndarray) -> None:
-        """Append one ``(num_walks, width)`` block and its lengths."""
+        """Append one ``(num_walks, width)`` block, its lengths, and CRC."""
         if self._handle is None:
             raise ValueError("spill writer is closed")
+        from repro.engine.faults import fire_os_error  # lazy: no engine dep
+
+        fire_os_error("spill.write_enospc")
         matrix = np.ascontiguousarray(matrix, dtype=self.dtype)
         lengths = np.ascontiguousarray(lengths, dtype=np.int64)
         if matrix.ndim != 2 or lengths.shape != (matrix.shape[0],):
@@ -81,9 +104,19 @@ class SpillWriter:
                 f"block shape mismatch: matrix {matrix.shape}, "
                 f"lengths {lengths.shape}"
             )
-        self._handle.write(_BLOCK.pack(matrix.shape[0], matrix.shape[1]))
-        self._handle.write(matrix.tobytes())
-        self._handle.write(lengths.tobytes())
+        matrix_bytes = matrix.tobytes()
+        lengths_bytes = lengths.tobytes()
+        crc = zlib.crc32(lengths_bytes, zlib.crc32(matrix_bytes))
+        if self._first_block_span is None:
+            self._first_block_span = (
+                self._handle.tell() + _BLOCK.size,
+                len(matrix_bytes) + len(lengths_bytes),
+            )
+        self._handle.write(
+            _BLOCK.pack(matrix.shape[0], matrix.shape[1], crc)
+        )
+        self._handle.write(matrix_bytes)
+        self._handle.write(lengths_bytes)
         self._blocks += 1
 
     def finalize(self) -> Path:
@@ -101,7 +134,31 @@ class SpillWriter:
         self._handle.close()
         self._handle = None
         os.replace(self._tmp, self.path)
+        self._maybe_bitflip()
         return self.path
+
+    def _maybe_bitflip(self) -> None:
+        """Chaos hook: flip one byte of the finalized file (bit rot).
+
+        Fires only when an active injector arms ``spill.bitflip``; the
+        byte lands inside the first block's payload (deterministically
+        chosen by the injector's per-point RNG) so the CRC check is
+        guaranteed to trip on the next replay.
+        """
+        from repro.engine.faults import get_active  # lazy: no engine dep
+
+        injector = get_active()
+        if injector is None or not injector.should_fire("spill.bitflip"):
+            return
+        if self._first_block_span is None:  # zero-block spill: nothing to rot
+            return
+        start, nbytes = self._first_block_span
+        offset = start + int(injector.rng("spill.bitflip").integers(nbytes))
+        with self.path.open("r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0x01]))
 
     def abort(self) -> None:
         """Drop the half-written temp file (idempotent)."""
@@ -139,6 +196,12 @@ class SpillReader:
             if len(header) < _HEADER.size:
                 raise SpillFormatError(f"{self.path}: truncated header")
             magic, version, itemsize, length, blocks = _HEADER.unpack(header)
+            if magic == LEGACY_MAGIC:
+                raise SpillFormatError(
+                    f"{self.path}: version-1 spill file (TNSPILL1) carries "
+                    "no block checksums and cannot be verified; delete it "
+                    "and re-record the corpus"
+                )
             if magic != MAGIC:
                 raise SpillFormatError(f"{self.path}: not a corpus spill file")
             if version != VERSION:
@@ -157,20 +220,36 @@ class SpillReader:
         self.num_blocks = int(blocks)
 
     def blocks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield every ``(matrix, lengths)`` block, in append order."""
+        """Yield every ``(matrix, lengths)`` block, in append order.
+
+        Each block's payload is checked against its recorded CRC32
+        before it is yielded; a mismatch raises
+        :class:`SpillCorruptionError` naming the block.
+        """
         if self._map is None:
             raise ValueError("spill reader is closed")
         offset = _HEADER.size
         size = len(self._map)
-        for _ in range(self.num_blocks):
+        for index in range(self.num_blocks):
             if offset + _BLOCK.size > size:
                 raise SpillFormatError(f"{self.path}: truncated block header")
-            num_walks, width = _BLOCK.unpack_from(self._map, offset)
+            num_walks, width, crc = _BLOCK.unpack_from(self._map, offset)
             offset += _BLOCK.size
             matrix_bytes = num_walks * width * self.dtype.itemsize
             lengths_bytes = num_walks * 8
             if offset + matrix_bytes + lengths_bytes > size:
                 raise SpillFormatError(f"{self.path}: truncated block data")
+            actual = zlib.crc32(
+                self._map[offset + matrix_bytes : offset + matrix_bytes
+                          + lengths_bytes],
+                zlib.crc32(self._map[offset : offset + matrix_bytes]),
+            )
+            if actual != crc:
+                raise SpillCorruptionError(
+                    f"{self.path}: block {index} CRC mismatch "
+                    f"(recorded {crc:#010x}, computed {actual:#010x}); "
+                    "the spill file is corrupt"
+                )
             matrix = np.frombuffer(
                 self._map, dtype=self.dtype, count=num_walks * width,
                 offset=offset,
@@ -181,6 +260,19 @@ class SpillReader:
             )
             offset += lengths_bytes
             yield matrix, lengths
+
+    def verify(self) -> int:
+        """Scan every block's CRC upfront; returns the block count.
+
+        Lets a replay consumer reject a corrupt file *before* handing
+        any walks to training (mid-epoch corruption discovery would
+        force an epoch restart); raises the same errors as
+        :meth:`blocks`.
+        """
+        count = 0
+        for _ in self.blocks():
+            count += 1
+        return count
 
     def corpora(self, graph: HeteroGraph | None = None) -> Iterator[WalkCorpus]:
         """The blocks wrapped as :class:`WalkCorpus` objects."""

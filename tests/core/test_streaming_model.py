@@ -87,6 +87,38 @@ class TestSpill:
             p.name: p.read_bytes() for p in tmp_path.iterdir()
         }
 
+    def _corrupt_all(self, tmp_path):
+        for path in tmp_path.iterdir():
+            data = bytearray(path.read_bytes())
+            data[-1] ^= 0x01  # rot in the last block's lengths payload
+            path.write_bytes(bytes(data))
+
+    def test_corrupt_spill_degrades_to_regeneration(self, tmp_path):
+        _fit(stream_corpus=True, spill_dir=str(tmp_path))  # records
+        self._corrupt_all(tmp_path)
+        # every view's replay is rejected by CRC before training sees a
+        # walk, so the run falls back to drawing fresh corpora — which
+        # consumes the same RNG stream as spill-less streaming
+        plain = _fit(stream_corpus=True)
+        degraded = _fit(stream_corpus=True, spill_dir=str(tmp_path))
+        for edge_type in plain.view_embeddings:
+            np.testing.assert_array_equal(
+                plain.view_embeddings[edge_type],
+                degraded.view_embeddings[edge_type],
+            )
+
+    def test_corrupt_spill_raises_when_asked(self, tmp_path):
+        from repro.walks import SpillCorruptionError
+
+        _fit(stream_corpus=True, spill_dir=str(tmp_path))
+        self._corrupt_all(tmp_path)
+        with pytest.raises(SpillCorruptionError, match="CRC mismatch"):
+            _fit(
+                stream_corpus=True,
+                spill_dir=str(tmp_path),
+                on_spill_error="raise",
+            )
+
 
 class TestFloat32:
     def test_embeddings_carry_requested_dtype(self):

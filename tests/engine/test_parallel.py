@@ -330,7 +330,11 @@ class TestFallback:
                 toy_view, BiasedCorrelatedPolicy(), length=8, seed_seq=seed
             )
         metrics = MetricsRegistry()
-        with ParallelRuntime(2, metrics=metrics) as rt:
+        # a zero relaunch budget makes the first pool loss demote on
+        # the spot — the pre-relaunch sticky-fallback behavior
+        with ParallelRuntime(
+            2, metrics=metrics, max_pool_relaunches=0
+        ) as rt:
             # kill the workers for real; the next submit must break
             with pytest.raises(Exception):
                 rt._pool.submit(os._exit, 1).result()
@@ -348,6 +352,46 @@ class TestFallback:
         assert metrics.counters["parallel/fallback"] == 1.0
         kinds = [event["kind"] for event in metrics.events]
         assert "parallel/fallback" in kinds
+        assert "parallel/pool_lost" in kinds
+
+    def test_pool_relaunch_within_budget(self, toy_view):
+        seed = single_view_seed(7, 0, 3)
+        with ParallelRuntime(2) as healthy:
+            expected = healthy.build_corpus(
+                toy_view, BiasedCorrelatedPolicy(), length=8, seed_seq=seed
+            )
+        metrics = MetricsRegistry()
+        with ParallelRuntime(
+            2, metrics=metrics, relaunch_backoff=0.0
+        ) as rt:
+            with pytest.raises(Exception):
+                rt._pool.submit(os._exit, 1).result()
+            corpus = rt.build_corpus(  # loss detected; replays in-process
+                toy_view, BiasedCorrelatedPolicy(), length=8, seed_seq=seed
+            )
+            np.testing.assert_array_equal(corpus.matrix, expected.matrix)
+            assert not rt.pool_broken  # budget (default 2) not spent
+            assert rt.pool_failures == 1
+            again = rt.build_corpus(  # relaunches and uses the new pool
+                toy_view, BiasedCorrelatedPolicy(), length=8, seed_seq=seed
+            )
+            np.testing.assert_array_equal(again.matrix, expected.matrix)
+            assert rt._pool is not None
+        assert metrics.counters["parallel/pool_relaunch"] == 1.0
+
+    def test_shutdown_is_idempotent_after_pool_loss(self, toy_view):
+        rt = ParallelRuntime(2, max_pool_relaunches=0)
+        seed = single_view_seed(7, 0, 3)
+        with pytest.raises(Exception):
+            rt._pool.submit(os._exit, 1).result()
+        rt.build_corpus(
+            toy_view, BiasedCorrelatedPolicy(), length=8, seed_seq=seed
+        )
+        assert rt.pool_broken
+        rt.shutdown()
+        assert rt._shared == {}
+        rt.shutdown()  # second call is a no-op
+        rt.close()  # alias too
 
 
 # ----------------------------------------------------------------------

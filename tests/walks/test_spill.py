@@ -1,4 +1,4 @@
-"""Corpus spill file: roundtrip, atomicity, format validation."""
+"""Corpus spill file: roundtrip, atomicity, format & corruption checks."""
 
 import struct
 
@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.walks.spill import (
+    _HEADER,
+    LEGACY_MAGIC,
     MAGIC,
+    VERSION,
+    SpillCorruptionError,
     SpillFormatError,
     SpillReader,
     SpillWriter,
@@ -113,13 +117,82 @@ class TestFormatValidation:
 
     def test_rejects_truncated_block(self, tmp_path):
         path = tmp_path / "torn.spill"
-        header = struct.Struct("<8sIIIQ").pack(MAGIC, 1, 8, 8, 1)
+        header = _HEADER.pack(MAGIC, VERSION, 8, 8, 1)
         # block header promises 5 walks x 8 but supplies no data
-        path.write_bytes(header + struct.Struct("<QQ").pack(5, 8))
+        path.write_bytes(header + struct.Struct("<QQI").pack(5, 8, 0))
         with SpillReader(path) as reader:
             with pytest.raises(SpillFormatError, match="truncated"):
                 list(reader.blocks())
 
+    def test_rejects_truncated_block_header(self, tmp_path):
+        path = tmp_path / "torn-header.spill"
+        header = _HEADER.pack(MAGIC, VERSION, 8, 8, 1)
+        path.write_bytes(header + b"\x01\x02")  # not even a block header
+        with SpillReader(path) as reader:
+            with pytest.raises(SpillFormatError, match="truncated block header"):
+                list(reader.blocks())
+
+    def test_rejects_version_1_file(self, tmp_path):
+        path = tmp_path / "legacy.spill"
+        path.write_bytes(_HEADER.pack(LEGACY_MAGIC, 1, 8, 8, 0))
+        with pytest.raises(SpillFormatError, match="re-record"):
+            SpillReader(path)
+
     def test_rejects_float_dtype(self, tmp_path):
         with pytest.raises(ValueError, match="int32/int64"):
             SpillWriter(tmp_path / "f.spill", length=8, dtype=np.float64)
+
+
+class TestCorruptionDetection:
+    """Every payload byte of every block is covered by its CRC32."""
+
+    def _write(self, path):
+        writer = SpillWriter(path, length=8, dtype=np.int64)
+        blocks = _blocks()
+        for matrix, lengths in blocks:
+            writer.append(matrix, lengths)
+        writer.finalize()
+        return blocks
+
+    def test_flipped_payload_byte_raises(self, tmp_path):
+        path = tmp_path / "rot.spill"
+        self._write(path)
+        data = bytearray(path.read_bytes())
+        offset = _HEADER.size + struct.Struct("<QQI").size + 11
+        data[offset] ^= 0x01  # one-bit rot inside block 0's matrix
+        path.write_bytes(bytes(data))
+        with SpillReader(path) as reader:
+            with pytest.raises(SpillCorruptionError, match="block 0 CRC"):
+                list(reader.blocks())
+
+    def test_flipped_lengths_byte_raises(self, tmp_path):
+        path = tmp_path / "rot-lengths.spill"
+        blocks = self._write(path)
+        data = bytearray(path.read_bytes())
+        matrix, _ = blocks[0]
+        offset = (
+            _HEADER.size + struct.Struct("<QQI").size + matrix.nbytes + 3
+        )
+        data[offset] ^= 0x80  # rot inside block 0's lengths array
+        path.write_bytes(bytes(data))
+        with SpillReader(path) as reader:
+            with pytest.raises(SpillCorruptionError, match="block 0 CRC"):
+                list(reader.blocks())
+
+    def test_verify_scans_all_blocks(self, tmp_path):
+        path = tmp_path / "clean.spill"
+        blocks = self._write(path)
+        with SpillReader(path) as reader:
+            assert reader.verify() == len(blocks)
+
+    def test_verify_rejects_corruption_upfront(self, tmp_path):
+        path = tmp_path / "rot-late.spill"
+        blocks = self._write(path)
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0x01  # rot in the LAST block's lengths
+        path.write_bytes(bytes(data))
+        with SpillReader(path) as reader:
+            with pytest.raises(
+                SpillCorruptionError, match=f"block {len(blocks) - 1} CRC"
+            ):
+                reader.verify()
