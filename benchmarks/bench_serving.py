@@ -1,0 +1,235 @@
+"""Benchmark: the embedding serving layer at million-node scale.
+
+Builds a synthetic mixture-of-Gaussians embedding table (the geometry
+real TransN embeddings have: tight communities with overlap), writes it
+to a TNEMB1 store, and measures the full serving path:
+
+* store write time and **open latency** — the mmap open must be O(ms)
+  regardless of store size, because the header parse + size check is
+  all that happens before the first query;
+* IVF index build time at the benchmarked operating point;
+* **recall@10 vs brute force** on sampled stored-vector queries — the
+  acceptance bar is >= 0.9 at the operating point recorded in the
+  payload (nlist/nprobe ride along so the number is reproducible);
+* single-query p50/p99 latency and batched throughput (QPS).
+
+Results land in ``BENCH_serving.json`` at the repository root.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full, ~1M nodes
+    PYTHONPATH=src python benchmarks/bench_serving.py --fast     # CI smoke
+
+Fast mode shrinks the table to smoke-test sizes; its timings are not
+meaningful and its output should never be checked in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.observability import (  # noqa: E402
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+)
+from repro.serving import (  # noqa: E402
+    EmbeddingService,
+    EmbeddingStore,
+    write_store,
+)
+from repro.serving.index import BruteForceIndex, recall_at_k  # noqa: E402
+
+FULL = {
+    "nodes": 1_000_000,
+    "dim": 32,
+    "clusters": 256,
+    "nlist": 128,
+    "nprobe": 16,
+    "recall_queries": 200,
+    "latency_queries": 400,
+    "qps_queries": 8192,
+    "qps_batch": 256,
+}
+FAST = {
+    "nodes": 5_000,
+    "dim": 16,
+    "clusters": 32,
+    "nlist": 64,
+    "nprobe": 16,
+    "recall_queries": 32,
+    "latency_queries": 40,
+    "qps_queries": 512,
+    "qps_batch": 64,
+}
+
+
+def synthetic_embeddings(n: int, dim: int, clusters: int, seed: int):
+    """Mixture-of-Gaussians rows, float32, built cluster-block-wise so
+    the peak transient stays far below the final table size."""
+    rng = np.random.default_rng(seed)
+    centers = (rng.standard_normal((clusters, dim)) * 2.0).astype(np.float32)
+    matrix = np.empty((n, dim), dtype=np.float32)
+    assignment = rng.integers(0, clusters, size=n)
+    for c in range(clusters):
+        rows = np.flatnonzero(assignment == c)
+        matrix[rows] = centers[c] + 0.3 * rng.standard_normal(
+            (len(rows), dim)
+        ).astype(np.float32)
+    return matrix
+
+
+def timed(fn, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test sizes for CI; timings not meaningful",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="output JSON path (default: BENCH_serving.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    cfg = FAST if args.fast else FULL
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    store_path = Path(os.environ.get("TMPDIR", "/tmp")) / "bench_serving.tnemb"
+
+    with tracer.span("bench_serving", kind="run"):
+        print(
+            f"building {cfg['nodes']:,} x {cfg['dim']} float32 table ...",
+            flush=True,
+        )
+        with metrics.timer("bench/build_table"):
+            matrix = synthetic_embeddings(
+                cfg["nodes"], cfg["dim"], cfg["clusters"], args.seed
+            )
+        ids = [f"n{i:07d}" for i in range(cfg["nodes"])]
+
+        with metrics.timer("bench/store_write"):
+            write_s = timed(lambda: write_store(store_path, ids, matrix))
+        store_bytes = store_path.stat().st_size
+        print(f"store write {write_s:.2f}s ({store_bytes / 1e6:.1f} MB)")
+
+        # open latency: header parse + size check only, best of 5 —
+        # this is the number that must stay O(ms) at any table size
+        open_ms = timed(
+            lambda: EmbeddingStore(store_path).close(), repeats=5
+        ) * 1e3
+        print(f"store open {open_ms:.3f} ms")
+
+        rng = np.random.default_rng(args.seed + 1)
+        with EmbeddingService(
+            store_path,
+            metric="cosine",
+            index="ivf",
+            nlist=cfg["nlist"],
+            nprobe=cfg["nprobe"],
+            seed=args.seed,
+            batch_size=cfg["qps_batch"],
+            metrics=metrics,
+            tracer=tracer,
+        ) as service:
+            print(
+                f"building IVF index (nlist={cfg['nlist']}, "
+                f"nprobe={cfg['nprobe']}) ...",
+                flush=True,
+            )
+            build_s = timed(lambda: service.index)
+            print(f"index build {build_s:.2f}s")
+
+            # recall@10 vs brute force on sampled stored vectors
+            sample = rng.choice(
+                cfg["nodes"], size=cfg["recall_queries"], replace=False
+            )
+            queries = service.store.matrix[np.sort(sample)]
+            exact_idx, _ = BruteForceIndex(
+                service.store.matrix, metric="cosine"
+            ).search(queries, 10)
+            approx_idx, _ = service.index.search(queries, 10)
+            recall = recall_at_k(approx_idx, exact_idx)
+            metrics.gauge("bench/recall_at_10", recall)
+            print(f"recall@10 vs brute force: {recall:.4f}")
+
+            # single-query latency distribution
+            lat_rows = rng.integers(0, cfg["nodes"], cfg["latency_queries"])
+            lat_ids = [ids[int(r)] for r in lat_rows]
+            latencies = []
+            for node in lat_ids:
+                start = time.perf_counter()
+                service.top_k([node], k=10)
+                latencies.append((time.perf_counter() - start) * 1e3)
+            p50_ms = float(np.percentile(latencies, 50))
+            p99_ms = float(np.percentile(latencies, 99))
+            print(f"latency p50 {p50_ms:.2f} ms  p99 {p99_ms:.2f} ms")
+
+            # batched throughput
+            qps_rows = rng.integers(0, cfg["nodes"], cfg["qps_queries"])
+            qps_ids = [ids[int(r)] for r in qps_rows]
+            qps_s = timed(lambda: service.top_k(qps_ids, k=10))
+            qps = cfg["qps_queries"] / qps_s
+            print(
+                f"throughput {qps:,.0f} qps "
+                f"(batch {cfg['qps_batch']}, {cfg['qps_queries']} queries)"
+            )
+
+    payload = {
+        "benchmark": "serving",
+        "fast_mode": args.fast,
+        "table": {
+            "nodes": cfg["nodes"],
+            "dim": cfg["dim"],
+            "dtype": "float32",
+            "clusters": cfg["clusters"],
+            "store_bytes": store_bytes,
+        },
+        "machine": {"cpu_count": os.cpu_count()},
+        "operating_point": {
+            "metric": "cosine",
+            "nlist": cfg["nlist"],
+            "nprobe": cfg["nprobe"],
+            "k": 10,
+        },
+        "store_write_s": write_s,
+        "open_ms": open_ms,
+        "index_build_s": build_s,
+        "recall_at_10": recall,
+        "p50_ms": p50_ms,
+        "p99_ms": p99_ms,
+        "qps": qps,
+        "qps_batch": cfg["qps_batch"],
+        "observability": RunReport(
+            metrics, tracer, metadata={"benchmark": "serving"}
+        ).to_dict(),
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    store_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,8 @@ Subcommands::
 
     repro generate <dataset> --graph g.tsv --labels l.tsv [--seed N]
     repro stats    <graph.tsv> [--labels l.tsv]
-    repro train    <graph.tsv> --out emb.txt [--method transn] [--dim 32]
+    repro train    <graph.tsv> --out emb.txt [--out-store emb.tnemb]
+                   [--method transn] [--dim 32]
                    [--checkpoint-dir ckpts/ --checkpoint-every 2 --resume]
                    [--health-policy raise|rollback|skip]
                    [--report run.json --trace]
@@ -12,6 +13,11 @@ Subcommands::
                    [--chaos worker.crash,spill.bitflip] ...
     repro classify <graph.tsv> <labels.tsv> [--method transn] ...
     repro linkpred <graph.tsv> [--method transn] [--removal 0.4] ...
+    repro query    <emb.tnemb> (--node ID ... | --nodes-file f | --sample N
+                   | --pairs pairs.tsv) [--top-k 10] [--index ivf|brute]
+                   [--metric cosine|dot] [--nlist N] [--nprobe N]
+                   [--out results.tsv] [--report run.json]
+    repro serve    <emb.tnemb> [--top-k 10] ...   # node ids on stdin
 
 Graphs use the TSV format of :mod:`repro.graph.io`; labels are
 ``node_id<TAB>label`` lines; embeddings use the word2vec text format.
@@ -274,8 +280,214 @@ def _cmd_train(args: argparse.Namespace) -> int:
     _print_engine_summary(method)
     save_embeddings(embeddings, args.out)
     print(f"wrote {len(embeddings)} embeddings to {args.out}")
+    if getattr(args, "out_store", None):
+        from repro.serving import store_from_embeddings
+
+        store_from_embeddings(embeddings, args.out_store)
+        print(f"wrote binary embedding store to {args.out_store}")
     if getattr(args, "report", None):
         print(f"wrote run report to {args.report}")
+    return 0
+
+
+def _make_service(args: argparse.Namespace):
+    """Open the store and build an EmbeddingService per the serving flags.
+
+    Returns ``(service, metrics, tracer)``; exits with a message when
+    the store is missing/invalid or the flag combination is bad.
+    """
+    from repro.engine.observability import (
+        NULL_REGISTRY,
+        NULL_TRACER,
+        MetricsRegistry,
+        Tracer,
+    )
+    from repro.serving import EmbeddingService, StoreFormatError
+
+    if args.index == "brute" and args.nprobe is not None:
+        raise SystemExit("--nprobe only applies to --index ivf")
+    if args.index == "brute" and args.nlist is not None:
+        raise SystemExit("--nlist only applies to --index ivf")
+    report = getattr(args, "report", None)
+    metrics = MetricsRegistry() if report else NULL_REGISTRY
+    tracer = Tracer() if report else NULL_TRACER
+    if not Path(args.store).is_file():
+        raise SystemExit(
+            f"embedding store {args.store!r} does not exist; write one "
+            "with 'repro train ... --out-store'"
+        )
+    try:
+        service = EmbeddingService(
+            args.store,
+            metric=args.metric,
+            index=args.index,
+            nlist=args.nlist,
+            nprobe=8 if args.nprobe is None else args.nprobe,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    except StoreFormatError as error:
+        raise SystemExit(str(error)) from None
+    return service, metrics, tracer
+
+
+def _write_serving_report(args, service, metrics, tracer, extra) -> None:
+    from repro.engine.observability import RunReport
+
+    if not getattr(args, "report", None):
+        return
+    metadata = {
+        "command": args.command,
+        "store": str(args.store),
+        "index": args.index,
+        "metric": args.metric,
+        "top_k": args.top_k,
+        **extra,
+    }
+    RunReport(metrics, tracer, metadata=metadata).write(args.report)
+    print(f"wrote run report to {args.report}", file=sys.stderr)
+
+
+def _query_nodes(args, service) -> list[str]:
+    """The query id list from --node/--nodes-file/--sample."""
+    import numpy as np
+
+    if args.node:
+        return list(args.node)
+    if args.nodes_file:
+        nodes = [
+            line.strip()
+            for line in Path(args.nodes_file).read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        if not nodes:
+            raise SystemExit(f"{args.nodes_file}: no node ids found")
+        return nodes
+    rng = np.random.default_rng(args.seed)
+    count = service.store.count
+    rows = np.sort(
+        rng.choice(count, size=min(args.sample, count), replace=False)
+    )
+    ids = service.store.ids
+    return [ids[int(r)] for r in rows]
+
+
+def _load_pairs(path: str | Path) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    with Path(path).open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise SystemExit(
+                    f"{path}:{line_number}: pairs need 'u<TAB>v', "
+                    f"got {len(parts)} fields"
+                )
+            pairs.append((parts[0], parts[1]))
+    if not pairs:
+        raise SystemExit(f"{path}: no pairs found")
+    return pairs
+
+
+def _emit_lines(lines: list[str], out: str | None) -> None:
+    if out is None:
+        for line in lines:
+            print(line)
+    else:
+        from repro.graph.io import atomic_writer
+
+        with atomic_writer(out) as handle:
+            for line in lines:
+                handle.write(line + "\n")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    chosen = [
+        bool(args.node),
+        args.nodes_file is not None,
+        args.sample is not None,
+        args.pairs is not None,
+    ]
+    if sum(chosen) != 1:
+        raise SystemExit(
+            "query needs exactly one of --node, --nodes-file, --sample, "
+            "or --pairs"
+        )
+    service, metrics, tracer = _make_service(args)
+    with service:
+        if args.pairs is not None:
+            pairs = _load_pairs(args.pairs)
+            try:
+                scores = service.score_links(pairs)
+            except KeyError as error:
+                raise SystemExit(str(error.args[0])) from None
+            lines = [
+                f"{u}\t{v}\t{score:.9g}"
+                for (u, v), score in zip(pairs, scores)
+            ]
+            extra = {"pairs": len(pairs)}
+        else:
+            nodes = _query_nodes(args, service)
+            try:
+                results = service.top_k(
+                    nodes, k=args.top_k, nprobe=args.nprobe
+                )
+            except KeyError as error:
+                raise SystemExit(str(error.args[0])) from None
+            lines = [
+                f"{query}\t{rank}\t{neighbor}\t{score:.9g}"
+                for query, entry in zip(nodes, results)
+                for rank, (neighbor, score) in enumerate(entry, start=1)
+            ]
+            extra = {"queries": len(nodes)}
+            if args.measure_recall and args.index == "ivf":
+                recall = service.measure_recall(k=args.top_k)
+                print(
+                    f"recall@{args.top_k} vs brute force: {recall:.4f}",
+                    file=sys.stderr,
+                )
+        _emit_lines(lines, args.out)
+        _write_serving_report(args, service, metrics, tracer, extra)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve top-k queries from stdin (one node id per line) until EOF."""
+    service, metrics, tracer = _make_service(args)
+    served = errors = 0
+    with service:
+        service.index  # build before the first request, not during it
+        print(
+            f"serving top-{args.top_k} queries over {args.store} "
+            f"({service.store.count} vectors, {args.index} index); "
+            "one node id per line, EOF to stop",
+            file=sys.stderr,
+        )
+        for raw in sys.stdin:
+            node = raw.strip()
+            if not node:
+                continue
+            try:
+                [entry] = service.top_k([node], k=args.top_k)
+            except KeyError as error:
+                errors += 1
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                continue
+            served += 1
+            for rank, (neighbor, score) in enumerate(entry, start=1):
+                print(f"{node}\t{rank}\t{neighbor}\t{score:.9g}")
+            sys.stdout.flush()
+        print(
+            f"served {served} queries ({errors} errors)", file=sys.stderr
+        )
+        _write_serving_report(
+            args, service, metrics, tracer,
+            {"served": served, "errors": errors},
+        )
     return 0
 
 
@@ -395,6 +607,49 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("store", help="a TNEMB1 binary embedding store")
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        help="neighbors returned per query (default 10)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("cosine", "dot"),
+        default="cosine",
+        help="top-k ranking metric (link scores always use the raw "
+        "inner product, per Table IV)",
+    )
+    parser.add_argument(
+        "--index",
+        choices=("ivf", "brute"),
+        default="ivf",
+        help="ivf (approximate, default) or brute (exact reference)",
+    )
+    parser.add_argument(
+        "--nlist",
+        type=int,
+        default=None,
+        help="IVF cells (default: sqrt of the store size)",
+    )
+    parser.add_argument(
+        "--nprobe",
+        type=int,
+        default=None,
+        help="IVF cells probed per query (default 8; more = higher "
+        "recall, slower)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="internal query execution batch (default 256)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -419,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train = sub.add_parser("train", help="train embeddings and save them")
     p_train.add_argument("graph")
     p_train.add_argument("--out", required=True)
+    p_train.add_argument(
+        "--out-store",
+        default=None,
+        help="also write the binary TNEMB1 embedding store (the serving "
+        "artifact of 'repro query'/'repro serve'; see docs/serving.md)",
+    )
     _add_method_options(p_train)
     p_train.add_argument(
         "--checkpoint-dir",
@@ -480,6 +741,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_linkpred.add_argument("--removal", type=float, default=0.4)
     _add_method_options(p_linkpred)
     p_linkpred.set_defaults(func=_cmd_linkpred)
+
+    p_query = sub.add_parser(
+        "query",
+        help="batched top-k / link-score queries over a TNEMB1 store",
+    )
+    p_query.add_argument(
+        "--node",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="query node id (repeatable)",
+    )
+    p_query.add_argument(
+        "--nodes-file",
+        default=None,
+        help="file with one query node id per line",
+    )
+    p_query.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="query a seeded sample of N stored nodes (deterministic "
+        "for a fixed --seed)",
+    )
+    p_query.add_argument(
+        "--pairs",
+        default=None,
+        metavar="FILE",
+        help="score 'u<TAB>v' pairs by embedding inner product "
+        "(the paper's Table IV edge-scoring protocol) instead of top-k",
+    )
+    p_query.add_argument(
+        "--out",
+        default=None,
+        help="write results to this TSV file instead of stdout",
+    )
+    p_query.add_argument(
+        "--measure-recall",
+        action="store_true",
+        help="also report recall@k of the ANN index vs brute force on a "
+        "seeded sample (ivf only; full exact pass — costs one brute scan)",
+    )
+    p_query.add_argument(
+        "--report",
+        default=None,
+        help="write a versioned JSON run report of the serving session "
+        "(query counters, batch sizes, p50/p99 latency gauges)",
+    )
+    _add_serving_options(p_query)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve top-k queries from stdin (one node id per line)",
+    )
+    p_serve.add_argument(
+        "--report",
+        default=None,
+        help="write a JSON run report of the session at EOF",
+    )
+    _add_serving_options(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

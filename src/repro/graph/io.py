@@ -13,6 +13,11 @@ Formats:
 
 - embeddings: the word2vec text format (``<n> <d>`` header, then
   ``node_id v1 v2 ...`` per line), readable by most embedding tooling.
+  ``float32`` embeddings extend the header to ``<n> <d> float32`` so a
+  round trip preserves the storage dtype (plain two-field headers load
+  as ``float64``, matching every external writer); values are printed
+  with enough significant digits (9 for float32, 17 for float64) that
+  loading reproduces the saved array bit for bit.
 
 Node IDs are stored as strings; loading returns string IDs.
 
@@ -29,7 +34,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, Mapping, TextIO
+from typing import IO, Iterator, Mapping
 
 import numpy as np
 
@@ -37,16 +42,20 @@ from repro.graph.heterograph import HeteroGraph, NodeId
 
 
 @contextmanager
-def atomic_writer(path: str | Path) -> Iterator[TextIO]:
+def atomic_writer(path: str | Path, mode: str = "w") -> Iterator[IO]:
     """Write-to-temp + fsync + rename: the destination either keeps its
     old content or receives the complete new content, never a prefix.
 
     Shared by the graph/embedding writers here and other single-file
-    artifacts (e.g. :mod:`repro.engine.observability` run reports)."""
+    artifacts (e.g. :mod:`repro.engine.observability` run reports and
+    the binary :mod:`repro.serving.store` files, which pass
+    ``mode="wb"``)."""
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer mode must be 'w' or 'wb', got {mode!r}")
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     try:
-        with tmp.open("w") as handle:
+        with tmp.open(mode) as handle:
             yield handle
             handle.flush()
             os.fsync(handle.fileno())
@@ -120,22 +129,38 @@ def load_graph(path: str | Path) -> HeteroGraph:
 def save_embeddings(
     embeddings: Mapping[NodeId, np.ndarray], path: str | Path
 ) -> None:
-    """Atomically write embeddings in word2vec text format."""
+    """Atomically write embeddings in word2vec text format.
+
+    The storage dtype survives the trip: ``float32`` mappings (the
+    ``dtype="float32"`` training mode) get a ``float32`` marker appended
+    to the header and 9-significant-digit values, ``float64`` keeps the
+    plain two-field header with 17 significant digits — both enough for
+    :func:`load_embeddings` to reproduce the arrays bit for bit, so
+    converting to and from the binary store
+    (:mod:`repro.serving.store`) is lossless.  Any other dtype is
+    promoted to ``float64``.
+    """
     path = Path(path)
     items = list(embeddings.items())
     if not items:
         raise ValueError("cannot save an empty embedding mapping")
     dim = len(items[0][1])
+    dtype = np.asarray(items[0][1]).dtype
+    if dtype != np.float32:
+        dtype = np.dtype(np.float64)
+    # 9 significant digits round-trip any float32, 17 any float64
+    digits = 9 if dtype == np.float32 else 17
+    marker = " float32" if dtype == np.float32 else ""
     with atomic_writer(path) as handle:
-        handle.write(f"{len(items)} {dim}\n")
+        handle.write(f"{len(items)} {dim}{marker}\n")
         for node, vector in items:
-            vector = np.asarray(vector)
+            vector = np.asarray(vector, dtype=dtype)
             if vector.shape != (dim,):
                 raise ValueError(
                     f"inconsistent dimension for node {node!r}: "
                     f"{vector.shape} vs ({dim},)"
                 )
-            values = " ".join(f"{x:.8g}" for x in vector)
+            values = " ".join(f"{x:.{digits}g}" for x in vector)
             handle.write(f"{node} {values}\n")
 
 
@@ -149,10 +174,10 @@ def load_embeddings(path: str | Path) -> dict[str, np.ndarray]:
     path = Path(path)
     with path.open() as handle:
         header = handle.readline().split()
-        if len(header) != 2:
+        if len(header) not in (2, 3):
             raise ValueError(
                 f"{path}:1: malformed word2vec header (expected "
-                f"'<count> <dim>', got {len(header)} fields)"
+                f"'<count> <dim> [dtype]', got {len(header)} fields)"
             )
         try:
             count, dim = int(header[0]), int(header[1])
@@ -161,6 +186,14 @@ def load_embeddings(path: str | Path) -> dict[str, np.ndarray]:
                 f"{path}:1: word2vec header fields must be integers, "
                 f"got {header[0]!r} {header[1]!r}"
             ) from None
+        dtype = np.dtype(np.float64)
+        if len(header) == 3:
+            if header[2] not in ("float32", "float64"):
+                raise ValueError(
+                    f"{path}:1: unknown embedding dtype {header[2]!r} "
+                    "(expected float32 or float64)"
+                )
+            dtype = np.dtype(header[2])
         embeddings: dict[str, np.ndarray] = {}
         for line_number, raw in enumerate(handle, start=2):
             parts = raw.split()
@@ -173,7 +206,7 @@ def load_embeddings(path: str | Path) -> dict[str, np.ndarray]:
                 )
             try:
                 vector = np.array(
-                    [float(x) for x in parts[1:]], dtype=np.float64
+                    [float(x) for x in parts[1:]], dtype=dtype
                 )
             except ValueError:
                 raise ValueError(

@@ -1,0 +1,41 @@
+"""Embedding serving layer: binary store, ANN index, query service.
+
+The inference path from training artifact to production query — see
+``docs/serving.md``:
+
+- :mod:`repro.serving.store` — the ``TNEMB1`` binary, versioned,
+  checksummed, memory-mappable embedding store (O(ms) open).
+- :mod:`repro.serving.index` — exact and IVF-style approximate top-k
+  neighbor search, pure numpy.
+- :mod:`repro.serving.service` — batched link-score and top-k query
+  execution wired into the observability layer; the engine behind the
+  ``repro query`` / ``repro serve`` CLI.
+"""
+
+from repro.serving.index import (
+    BruteForceIndex,
+    IVFIndex,
+    make_index,
+    recall_at_k,
+)
+from repro.serving.service import EmbeddingService
+from repro.serving.store import (
+    EmbeddingStore,
+    StoreCorruptionError,
+    StoreFormatError,
+    store_from_embeddings,
+    write_store,
+)
+
+__all__ = [
+    "BruteForceIndex",
+    "EmbeddingService",
+    "EmbeddingStore",
+    "IVFIndex",
+    "StoreCorruptionError",
+    "StoreFormatError",
+    "make_index",
+    "recall_at_k",
+    "store_from_embeddings",
+    "write_store",
+]

@@ -1,0 +1,258 @@
+"""Batched query execution over an embedding store: the serving front.
+
+:class:`EmbeddingService` turns a :class:`~repro.serving.store.EmbeddingStore`
+into the two online workloads the paper evaluates offline:
+
+- **link scoring** (Table IV's protocol made a query): a batch of
+  ``(u, v)`` pairs scored by the inner product of their stored
+  embeddings (:meth:`EmbeddingService.score_links`);
+- **top-k recommendation** ("top-k apps for this user"): nearest
+  stored vectors of a batch of query nodes, answered through a
+  pluggable index — exact brute force or the IVF approximate index
+  (:meth:`EmbeddingService.top_k`).
+
+Every query batch is instrumented into the run's
+:class:`~repro.engine.observability.MetricsRegistry` and
+:class:`~repro.engine.observability.Tracer` under the ``serving/``
+namespace: query/pair counters, batch-size series, per-batch latency
+series with live p50/p99 gauges, index-build timers, and the recall
+gauge from :meth:`EmbeddingService.measure_recall`.  The same
+:class:`~repro.engine.observability.RunReport` schema training uses
+serializes a serving session (``repro query --report``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.observability import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+)
+from repro.serving.index import (
+    BruteForceIndex,
+    IVFIndex,
+    make_index,
+    recall_at_k,
+)
+from repro.serving.store import EmbeddingStore
+
+
+def _percentile_gauges(
+    metrics: MetricsRegistry, name: str, series: str
+) -> None:
+    """Refresh ``<name>_p50_ms``/``<name>_p99_ms`` gauges from the
+    retained tail of ``series`` (bounded, so this stays cheap)."""
+    values = metrics.series_values(series)
+    if not values:
+        return
+    metrics.gauge(f"{name}_p50_ms", float(np.percentile(values, 50)))
+    metrics.gauge(f"{name}_p99_ms", float(np.percentile(values, 99)))
+
+
+class EmbeddingService:
+    """Answer link-score and top-k queries over one embedding store.
+
+    Args:
+        store: an open :class:`EmbeddingStore` or a path to one (paths
+            are opened — and then owned/closed — by the service).
+        metric: ``"cosine"`` or ``"dot"`` for top-k ranking.  Link
+            scores always use the raw inner product, matching the
+            paper's Table IV edge-scoring protocol exactly.
+        index: ``"ivf"`` (default), ``"brute"``, or a prebuilt index
+            instance.  Built lazily on the first top-k query, so a
+            pure link-scoring service never pays for it.
+        nlist / nprobe / seed: IVF build parameters (ignored for
+            ``"brute"``).
+        batch_size: internal execution batch; large query lists are
+            chunked so one request never materializes an unbounded
+            score matrix.
+        metrics / tracer: observability sinks (default: the no-op
+            singletons — the service is zero-cost unobserved).
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore | str | Path,
+        metric: str = "cosine",
+        index: str | BruteForceIndex | IVFIndex = "ivf",
+        nlist: int | None = None,
+        nprobe: int = 8,
+        seed: int = 0,
+        batch_size: int = 256,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._owns_store = not isinstance(store, EmbeddingStore)
+        self.store = (
+            store if isinstance(store, EmbeddingStore) else EmbeddingStore(store)
+        )
+        self.metric = metric
+        self.batch_size = int(batch_size)
+        self.metrics = metrics
+        self.tracer = tracer
+        self._index_kind = index if isinstance(index, str) else None
+        self._index = None if isinstance(index, str) else index
+        self._index_options = {"nlist": nlist, "nprobe": nprobe, "seed": seed}
+        if isinstance(index, str) and index not in ("ivf", "brute"):
+            raise ValueError(
+                f"unknown index kind {index!r}; choose ivf or brute"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> BruteForceIndex | IVFIndex:
+        """The top-k index, built on first use (timed into
+        ``serving/index_build``)."""
+        if self._index is None:
+            assert self._index_kind is not None
+            options = {
+                k: v
+                for k, v in self._index_options.items()
+                if v is not None
+            }
+            with self.tracer.span("index_build", kind="serving"):
+                with self.metrics.timer("serving/index_build"):
+                    self._index = make_index(
+                        self.store.matrix,
+                        self._index_kind,
+                        metric=self.metric,
+                        **options,
+                    )
+            if isinstance(self._index, IVFIndex):
+                self.metrics.gauge("serving/index_nlist", self._index.nlist)
+                self.metrics.gauge("serving/index_nprobe", self._index.nprobe)
+        return self._index
+
+    # ------------------------------------------------------------------
+    def score_links(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> np.ndarray:
+        """Inner-product scores for ``(u, v)`` node pairs (Table IV).
+
+        Unknown node ids raise ``KeyError`` naming the id.  Returns one
+        float per pair, in order.
+        """
+        pairs = list(pairs)
+        out = np.empty(len(pairs), dtype=np.float64)
+        for start in range(0, len(pairs), self.batch_size):
+            chunk = pairs[start : start + self.batch_size]
+            with self.metrics.timer("serving/link_batch"):
+                start_t = _now()
+                left = self.store.vectors(u for u, _ in chunk)
+                right = self.store.vectors(v for _, v in chunk)
+                out[start : start + len(chunk)] = np.einsum(
+                    "ij,ij->i", left, right, dtype=np.float64
+                )
+                self._record_batch("link", len(chunk), _now() - start_t)
+        return out
+
+    def top_k(
+        self,
+        node_ids: Sequence[str],
+        k: int = 10,
+        nprobe: int | None = None,
+        exclude_self: bool = True,
+    ) -> list[list[tuple[str, float]]]:
+        """Top-``k`` neighbors of each query node, best first.
+
+        Args:
+            node_ids: stored node ids to query (``KeyError`` if absent).
+            k: neighbors returned per query.
+            nprobe: override the index's probe width (IVF only).
+            exclude_self: drop the query node from its own result (a
+                stored query always retrieves itself first otherwise).
+        """
+        node_ids = list(node_ids)
+        index = self.index
+        results: list[list[tuple[str, float]]] = []
+        # fetch k+1 so self-exclusion still fills k slots
+        fetch = k + 1 if exclude_self else k
+        for start in range(0, len(node_ids), self.batch_size):
+            chunk = node_ids[start : start + self.batch_size]
+            start_t = _now()
+            rows = np.array(
+                [self.store.row_of(n) for n in chunk], dtype=np.int64
+            )
+            queries = self.store.matrix[rows]
+            kwargs = {} if nprobe is None else {"nprobe": nprobe}
+            if isinstance(index, BruteForceIndex) and nprobe is not None:
+                kwargs = {}
+            idx, scores = index.search(queries, fetch, **kwargs)
+            ids = self.store.ids
+            for qpos, row in enumerate(rows):
+                entry: list[tuple[str, float]] = []
+                for col in range(idx.shape[1]):
+                    neighbor = int(idx[qpos, col])
+                    if exclude_self and neighbor == row:
+                        continue
+                    entry.append(
+                        (ids[neighbor], float(scores[qpos, col]))
+                    )
+                    if len(entry) == k:
+                        break
+                results.append(entry)
+            self._record_batch("topk", len(chunk), _now() - start_t)
+        return results
+
+    # ------------------------------------------------------------------
+    def measure_recall(
+        self, k: int = 10, sample: int = 64, seed: int = 0
+    ) -> float:
+        """Recall@``k`` of the configured index against brute force on a
+        seeded sample of stored vectors; lands in the
+        ``serving/recall_at_k`` gauge.  Returns 1.0 trivially for a
+        brute-force service."""
+        index = self.index
+        if isinstance(index, BruteForceIndex):
+            self.metrics.gauge("serving/recall_at_k", 1.0)
+            return 1.0
+        rng = np.random.default_rng(seed)
+        sample = min(sample, self.store.count)
+        rows = rng.choice(self.store.count, size=sample, replace=False)
+        queries = self.store.matrix[np.sort(rows)]
+        exact = BruteForceIndex(self.store.matrix, metric=self.metric)
+        approx_idx, _ = index.search(queries, k)
+        exact_idx, _ = exact.search(queries, k)
+        recall = recall_at_k(approx_idx, exact_idx)
+        self.metrics.gauge("serving/recall_at_k", recall)
+        self.metrics.gauge("serving/recall_k", float(k))
+        return recall
+
+    def _record_batch(
+        self, kind: str, batch: int, elapsed_s: float
+    ) -> None:
+        if not self.metrics.enabled:
+            return
+        self.metrics.counter("serving/queries", batch)
+        self.metrics.counter(f"serving/{kind}_queries", batch)
+        self.metrics.observe("serving/batch_size", batch)
+        self.metrics.observe("serving/latency_ms", elapsed_s * 1e3)
+        self.metrics.record_seconds("serving/query_seconds", elapsed_s)
+        _percentile_gauges(
+            self.metrics, "serving/latency", "serving/latency_ms"
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the store if this service opened it (idempotent)."""
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "EmbeddingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _now() -> float:
+    return time.perf_counter()

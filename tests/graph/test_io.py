@@ -108,6 +108,55 @@ class TestEmbeddingRoundTrip:
             load_embeddings(path)
 
 
+class TestDtypePreservation:
+    """The text path must not silently coerce dtypes (regression: the
+    serving store round trips through text, so float32 embeddings have
+    to come back as float32, bit for bit)."""
+
+    def test_float32_round_trip_is_bit_exact(self, rng, tmp_path):
+        embeddings = {
+            f"n{k}": rng.normal(size=5).astype(np.float32) for k in range(4)
+        }
+        path = tmp_path / "emb.txt"
+        save_embeddings(embeddings, path)
+        loaded = load_embeddings(path)
+        for node, vector in embeddings.items():
+            assert loaded[node].dtype == np.float32
+            assert loaded[node].tobytes() == vector.tobytes()
+
+    def test_float64_round_trip_is_bit_exact(self, rng, tmp_path):
+        embeddings = {f"n{k}": rng.normal(size=5) for k in range(4)}
+        path = tmp_path / "emb.txt"
+        save_embeddings(embeddings, path)
+        loaded = load_embeddings(path)
+        for node, vector in embeddings.items():
+            assert loaded[node].dtype == np.float64
+            assert loaded[node].tobytes() == vector.tobytes()
+
+    def test_float32_header_carries_marker(self, rng, tmp_path):
+        path = tmp_path / "emb.txt"
+        save_embeddings({"a": rng.normal(size=3).astype(np.float32)}, path)
+        assert path.read_text().splitlines()[0] == "1 3 float32"
+
+    def test_float64_header_unchanged(self, rng, tmp_path):
+        # the two-field header stays word2vec-compatible for float64
+        path = tmp_path / "emb.txt"
+        save_embeddings({"a": rng.normal(size=3)}, path)
+        assert path.read_text().splitlines()[0] == "1 3"
+
+    def test_unknown_dtype_token_rejected(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        path.write_text("1 3 float16\na 1 2 3\n")
+        with pytest.raises(ValueError, match="float16"):
+            load_embeddings(path)
+
+    def test_non_float_input_promoted_to_float64(self, tmp_path):
+        path = tmp_path / "emb.txt"
+        save_embeddings({"a": [1, 2, 3]}, path)
+        loaded = load_embeddings(path)
+        assert loaded["a"].dtype == np.float64
+
+
 class TestMalformedRows:
     def test_bad_edge_weight_names_file_and_line(self, tmp_path):
         path = tmp_path / "g.tsv"

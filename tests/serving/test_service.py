@@ -1,0 +1,151 @@
+"""Service-layer tests: batched execution, metrics wiring, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.engine.observability import MetricsRegistry, Tracer
+from repro.serving import (
+    BruteForceIndex,
+    EmbeddingService,
+    IVFIndex,
+    write_store,
+)
+
+from tests.serving.test_index import clustered_embeddings
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    x = clustered_embeddings(n=300, dim=8, clusters=10, seed=1)
+    path = tmp_path_factory.mktemp("svc") / "e.tnemb"
+    write_store(path, [f"n{i}" for i in range(len(x))], x)
+    return path
+
+
+class TestQueries:
+    def test_score_links_is_table_iv_inner_product(self, store_path):
+        with EmbeddingService(store_path) as svc:
+            x = svc.store.matrix
+            scores = svc.score_links([("n0", "n1"), ("n5", "n5")])
+            assert scores[0] == pytest.approx(float(np.dot(x[0], x[1])))
+            assert scores[1] == pytest.approx(float(np.dot(x[5], x[5])))
+
+    def test_score_links_unknown_node(self, store_path):
+        with EmbeddingService(store_path) as svc:
+            with pytest.raises(KeyError, match="ghost"):
+                svc.score_links([("n0", "ghost")])
+
+    def test_top_k_excludes_self_by_default(self, store_path):
+        with EmbeddingService(
+            store_path, index="ivf", nlist=8, nprobe=8
+        ) as svc:
+            [entry] = svc.top_k(["n3"], k=5)
+            assert len(entry) == 5
+            assert all(neighbor != "n3" for neighbor, _ in entry)
+            [kept] = svc.top_k(["n3"], k=5, exclude_self=False)
+            # a stored query's own vector is its best cosine match
+            assert kept[0][0] == "n3"
+
+    def test_batched_equals_unbatched(self, store_path):
+        nodes = [f"n{i}" for i in range(0, 50, 3)]
+        with EmbeddingService(store_path, index="brute") as one:
+            whole = one.top_k(nodes, k=4)
+        with EmbeddingService(
+            store_path, index="brute", batch_size=3
+        ) as many:
+            chunked = many.top_k(nodes, k=4)
+        # neighbor sets are identical; scores may differ by BLAS-blocking
+        # ulps across batch shapes, so compare them tolerantly
+        assert [[n for n, _ in e] for e in whole] == [
+            [n for n, _ in e] for e in chunked
+        ]
+        assert np.allclose(
+            [[s for _, s in e] for e in whole],
+            [[s for _, s in e] for e in chunked],
+            rtol=1e-12,
+        )
+
+    def test_brute_and_ivf_agree_at_full_probe(self, store_path):
+        with EmbeddingService(store_path, index="brute") as brute:
+            exact = brute.top_k(["n1", "n2"], k=3)
+        with EmbeddingService(
+            store_path, index="ivf", nlist=8, nprobe=8
+        ) as ivf:
+            approx = ivf.top_k(["n1", "n2"], k=3)
+        assert [[n for n, _ in e] for e in exact] == [
+            [n for n, _ in e] for e in approx
+        ]
+
+
+class TestObservability:
+    def test_metrics_and_report_wiring(self, store_path, tmp_path):
+        from repro.engine.observability import RunReport, load_report
+
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        with EmbeddingService(
+            store_path, index="ivf", nlist=8, metrics=metrics, tracer=tracer
+        ) as svc:
+            svc.top_k(["n0", "n1", "n2"], k=4)
+            svc.score_links([("n0", "n1")])
+            recall = svc.measure_recall(k=5, sample=16)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["serving/queries"] == 4.0
+        assert snapshot["counters"]["serving/topk_queries"] == 3.0
+        assert snapshot["counters"]["serving/link_queries"] == 1.0
+        assert snapshot["series"]["serving/batch_size"]["count"] == 2
+        assert snapshot["series"]["serving/latency_ms"]["count"] == 2
+        assert snapshot["gauges"]["serving/latency_p50_ms"] >= 0.0
+        assert snapshot["gauges"]["serving/latency_p99_ms"] >= (
+            snapshot["gauges"]["serving/latency_p50_ms"]
+        )
+        assert snapshot["gauges"]["serving/recall_at_k"] == recall
+        assert snapshot["gauges"]["serving/index_nlist"] == 8.0
+        assert snapshot["timers"]["serving/index_build"]["count"] == 1
+        # the serving session serializes through the standard run report
+        report = tmp_path / "serve.json"
+        RunReport(metrics, tracer, metadata={"command": "query"}).write(
+            report
+        )
+        document = load_report(report)
+        assert document["metrics"]["counters"]["serving/queries"] == 4.0
+        assert any(
+            span["name"] == "index_build"
+            for span in document["trace"]["spans"]
+        )
+
+    def test_unobserved_service_records_nothing(self, store_path):
+        with EmbeddingService(store_path, index="brute") as svc:
+            svc.top_k(["n0"], k=2)
+            assert svc.metrics.snapshot()["counters"] == {}
+
+    def test_brute_recall_trivially_one(self, store_path):
+        with EmbeddingService(store_path, index="brute") as svc:
+            assert svc.measure_recall() == 1.0
+
+
+class TestLifecycle:
+    def test_index_is_lazy(self, store_path):
+        with EmbeddingService(store_path, index="ivf", nlist=8) as svc:
+            assert svc._index is None
+            svc.score_links([("n0", "n1")])  # link scoring needs no index
+            assert svc._index is None
+            svc.top_k(["n0"], k=2)
+            assert isinstance(svc._index, IVFIndex)
+
+    def test_prebuilt_index_accepted(self, store_path):
+        from repro.serving import EmbeddingStore
+
+        with EmbeddingStore(store_path) as store:
+            index = BruteForceIndex(store.matrix)
+            svc = EmbeddingService(store, index=index)
+            assert svc.index is index
+            assert svc.top_k(["n0"], k=2)
+            svc.close()  # must NOT close the caller-owned store
+            assert store.count == 300
+
+    def test_bad_options(self, store_path):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            EmbeddingService(store_path, index="hnsw")
+        with pytest.raises(ValueError, match="batch_size"):
+            EmbeddingService(store_path, batch_size=0)

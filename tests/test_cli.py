@@ -253,6 +253,183 @@ class TestLabelsParsing:
         assert _load_labels(path) == {"a": "1", "b": "2"}
 
 
+class TestServingSurface:
+    """train --out-store + query/serve over the binary store, end to end."""
+
+    @pytest.fixture(scope="class")
+    def trained_store(self, tmp_path_factory):
+        """One appstore train run with both text and binary outputs."""
+        tmp_path = tmp_path_factory.mktemp("serving")
+        graph_path = tmp_path / "g.tsv"
+        assert main([
+            "generate", "app-daily", "--graph", str(graph_path),
+        ]) == 0
+        out = tmp_path / "emb.txt"
+        store = tmp_path / "emb.tnemb"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(out),
+            "--out-store", str(store),
+            "--method", "transn",
+            "--dim", "8",
+            "--iterations", "1",
+        ]) == 0
+        return graph_path, out, store
+
+    def test_store_matches_text_output(self, trained_store):
+        from repro.serving import EmbeddingStore
+
+        _, out, store_path = trained_store
+        embeddings = load_embeddings(out)
+        with EmbeddingStore(store_path) as store:
+            assert store.count == len(embeddings)
+            for node, vector in list(embeddings.items())[:10]:
+                assert np.allclose(store.vector(node), vector)
+
+    def test_identical_runs_write_identical_stores(
+        self, trained_store, tmp_path
+    ):
+        graph_path, _, store_path = trained_store
+        again = tmp_path / "again.tnemb"
+        assert main([
+            "train", str(graph_path),
+            "--out", str(tmp_path / "again.txt"),
+            "--out-store", str(again),
+            "--method", "transn",
+            "--dim", "8",
+            "--iterations", "1",
+        ]) == 0
+        assert again.read_bytes() == store_path.read_bytes()
+
+    def test_query_top_k_end_to_end(self, trained_store, tmp_path, capsys):
+        _, out, store_path = trained_store
+        embeddings = load_embeddings(out)
+        node = next(iter(embeddings))
+        assert main([
+            "query", str(store_path),
+            "--node", node,
+            "--top-k", "3",
+            "--index", "brute",
+        ]) == 0
+        lines = [
+            line.split("\t")
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(lines) == 3
+        assert [row[0] for row in lines] == [node] * 3
+        assert [row[1] for row in lines] == ["1", "2", "3"]
+        assert node not in {row[2] for row in lines}  # self excluded
+        scores = [float(row[3]) for row in lines]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_query_pairs_scores_match_embeddings(
+        self, trained_store, tmp_path, capsys
+    ):
+        _, out, store_path = trained_store
+        embeddings = load_embeddings(out)
+        nodes = list(embeddings)
+        pairs_file = tmp_path / "pairs.tsv"
+        pairs_file.write_text(
+            f"{nodes[0]}\t{nodes[1]}\n# comment\n{nodes[2]}\t{nodes[3]}\n"
+        )
+        assert main([
+            "query", str(store_path), "--pairs", str(pairs_file),
+        ]) == 0
+        rows = [
+            line.split("\t")
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(rows) == 2
+        for u, v, score in rows:
+            expected = float(np.dot(embeddings[u], embeddings[v]))
+            assert float(score) == pytest.approx(expected, rel=1e-6)
+
+    def test_query_sample_deterministic_with_report(
+        self, trained_store, tmp_path
+    ):
+        store_path = trained_store[2]
+        a, b = tmp_path / "a.tsv", tmp_path / "b.tsv"
+        report = tmp_path / "serve.json"
+        for out in (a, b):
+            assert main([
+                "query", str(store_path),
+                "--sample", "6",
+                "--top-k", "4",
+                "--out", str(out),
+                "--report", str(report),
+            ]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        document = load_report(report)
+        assert document["metadata"]["command"] == "query"
+        assert document["metrics"]["counters"]["serving/queries"] == 6.0
+        assert "serving/latency_p99_ms" in document["metrics"]["gauges"]
+
+    def test_serve_reads_stdin(self, trained_store, capsys, monkeypatch):
+        import io
+
+        _, out, store_path = trained_store
+        node = next(iter(load_embeddings(out)))
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(f"{node}\n\nno-such-node\n")
+        )
+        assert main([
+            "serve", str(store_path), "--top-k", "2", "--index", "brute",
+        ]) == 0
+        captured = capsys.readouterr()
+        rows = [l.split("\t") for l in captured.out.strip().splitlines()]
+        assert len(rows) == 2 and rows[0][0] == node
+        assert "served 1 queries (1 errors)" in captured.err
+
+    def test_query_requires_a_store_argument(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--top-k", "3"])
+
+    def test_query_missing_store_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["query", str(tmp_path / "ghost.tnemb"), "--sample", "2"])
+
+    def test_query_rejects_text_embeddings(self, trained_store):
+        _, out, _ = trained_store
+        with pytest.raises(SystemExit, match="not an embedding store"):
+            main(["query", str(out), "--sample", "2"])
+
+    def test_query_needs_exactly_one_input(self, trained_store, tmp_path):
+        store_path = str(trained_store[2])
+        with pytest.raises(SystemExit, match="exactly one of"):
+            main(["query", store_path])
+        with pytest.raises(SystemExit, match="exactly one of"):
+            main([
+                "query", store_path,
+                "--sample", "2",
+                "--pairs", str(tmp_path / "p.tsv"),
+            ])
+
+    def test_query_rejects_nprobe_with_brute(self, trained_store):
+        with pytest.raises(SystemExit, match="--nprobe only applies"):
+            main([
+                "query", str(trained_store[2]),
+                "--sample", "2",
+                "--index", "brute",
+                "--nprobe", "4",
+            ])
+
+    def test_query_unknown_node_named(self, trained_store):
+        with pytest.raises(SystemExit, match="'gh0st'"):
+            main([
+                "query", str(trained_store[2]),
+                "--node", "gh0st",
+                "--index", "brute",
+            ])
+
+    def test_query_malformed_pairs_named(self, trained_store, tmp_path):
+        pairs = tmp_path / "p.tsv"
+        pairs.write_text("a\tb\tc\n")
+        with pytest.raises(SystemExit, match=r"p\.tsv:1"):
+            main([
+                "query", str(trained_store[2]), "--pairs", str(pairs),
+            ])
+
+
 class TestParallelSurface:
     """The --workers flag of the train subcommand, end to end."""
 
